@@ -1,0 +1,41 @@
+# Convenience targets for the VideoPipe reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One measurement window per benchmark; see EXPERIMENTS.md for canonical
+# longer-window numbers.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
+
+# Regenerate every paper table/figure plus the ablations (takes ~3 min).
+experiments:
+	$(GO) run ./cmd/vpbench -exp all -dur 3s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/fitness -dur 4s
+	$(GO) run ./examples/gesture -dur 4s
+	$(GO) run ./examples/falldetect -dur 6s
+	$(GO) run ./examples/securitycam -dur 6s
+
+clean:
+	rm -f fitness_display.png test_output.txt bench_output.txt

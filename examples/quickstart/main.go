@@ -1,0 +1,90 @@
+// Quickstart: the smallest useful VideoPipe program.
+//
+// It builds a two-module pipeline with the fluent builder — an ingest
+// module on a phone forwarding frames to an analyzer co-located with the
+// pose-detector service on a desktop — runs it for a few seconds on a
+// simulated home network, and prints the run report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"videopipe"
+)
+
+// Module logic is PipeScript (a JavaScript-like embedded language), just
+// as the paper's modules are JavaScript on Duktape.
+const ingestSrc = `
+	function event_received(message) {
+		// Frames are passed by reference id, never copied on-device.
+		call_module("analyze", {
+			frame_ref: message.frame_ref,
+			captured_ms: message.captured_ms
+		});
+	}
+`
+
+const analyzeSrc = `
+	var people_seen = 0;
+	function event_received(message) {
+		var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+		if (r.found) {
+			people_seen++;
+			var nose = r.pose.keypoints[0];
+			metric("nose_y", nose.y);
+		}
+		metric("latency", now_ms() - message.captured_ms);
+		frame_done();   // flow-control credit back to the camera
+	}
+`
+
+func main() {
+	// 1. Build the service catalogue (trains the tiny activity model).
+	registry, err := videopipe.NewStandardServices(videopipe.DefaultServiceOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Assemble a simulated home: phone + desktop + TV on Wi-Fi, with
+	// the standard service placement.
+	cluster, err := videopipe.NewCluster(videopipe.HomeClusterSpec(), registry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// 3. Describe the pipeline.
+	cfg, err := videopipe.NewPipelineBuilder("quickstart").
+		Module("ingest", ingestSrc).Next("analyze").
+		Module("analyze", analyzeSrc).Uses(videopipe.PoseDetector).
+		Source("phone", "ingest").
+		FPS(15).
+		Scene("wave", 0.4).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Deploy with the co-locating planner: "analyze" lands on the
+	// desktop, next to the pose detector; "ingest" stays on the phone.
+	pipeline, err := cluster.Launch(cfg, videopipe.CoLocatePlanner{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for module, device := range pipeline.Placement() {
+		fmt.Printf("module %-10s -> %s\n", module, device)
+	}
+
+	// 5. Run and report.
+	result, err := pipeline.Run(context.Background(), 4*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(result)
+}

@@ -1,0 +1,3 @@
+module videopipe
+
+go 1.22

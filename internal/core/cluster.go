@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"videopipe/internal/device"
+	"videopipe/internal/frame"
+	"videopipe/internal/metrics"
+	"videopipe/internal/netsim"
+	"videopipe/internal/services"
+)
+
+// ServicePlacement deploys one service pool onto a device.
+type ServicePlacement struct {
+	// Service names a spec in the cluster's registry.
+	Service string
+	// Device hosts the pool; it must be container-capable.
+	Device string
+	// Instances is the initial pool size; <= 0 means 1.
+	Instances int
+}
+
+// ClusterSpec assembles a simulated home deployment: the devices, the
+// network between them, and where each service runs.
+type ClusterSpec struct {
+	// Devices lists the edge devices.
+	Devices []device.Config
+	// DefaultLink shapes unconfigured device pairs; the zero value selects
+	// the Wi-Fi preset (the paper's testbed fabric).
+	DefaultLink netsim.LinkProfile
+	// Services places service pools on devices.
+	Services []ServicePlacement
+}
+
+// Cluster is a running set of devices with deployed services, shared by
+// the pipelines launched onto it (service sharing across pipelines is
+// §5.2.2's experiment).
+type Cluster struct {
+	network  *netsim.Network
+	registry *services.Registry
+	reg      *metrics.Registry
+
+	mu          sync.Mutex
+	devices     map[string]*device.Device
+	order       []string
+	serviceHost map[string]string // service -> device name
+	pipelines   []*Pipeline
+	closed      bool
+}
+
+// NewCluster builds the devices and network and deploys the services.
+func NewCluster(spec ClusterSpec, registry *services.Registry) (*Cluster, error) {
+	if len(spec.Devices) == 0 {
+		return nil, fmt.Errorf("core: cluster needs at least one device")
+	}
+	if registry == nil {
+		return nil, fmt.Errorf("core: cluster needs a service registry")
+	}
+	link := spec.DefaultLink
+	if link == (netsim.LinkProfile{}) {
+		link = netsim.WiFi
+	}
+
+	c := &Cluster{
+		network:     netsim.NewNetwork(link),
+		registry:    registry,
+		reg:         metrics.NewRegistry(),
+		devices:     make(map[string]*device.Device),
+		serviceHost: make(map[string]string),
+	}
+	for _, dc := range spec.Devices {
+		if _, dup := c.devices[dc.Name]; dup {
+			c.Close()
+			return nil, fmt.Errorf("core: duplicate device %q", dc.Name)
+		}
+		d, err := device.New(dc, c.network.Host(dc.Name), c.reg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.devices[dc.Name] = d
+		c.order = append(c.order, dc.Name)
+	}
+
+	// Deploy service pools.
+	needServer := make(map[string]bool)
+	for _, sp := range spec.Services {
+		d, ok := c.devices[sp.Device]
+		if !ok {
+			c.Close()
+			return nil, fmt.Errorf("core: service %q placed on unknown device %q", sp.Service, sp.Device)
+		}
+		svcSpec, err := registry.Lookup(sp.Service)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		n := sp.Instances
+		if n <= 0 {
+			n = 1
+		}
+		if _, err := d.DeployService(svcSpec, n); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if prev, dup := c.serviceHost[sp.Service]; dup {
+			c.Close()
+			return nil, fmt.Errorf("core: service %q deployed on both %q and %q; one host per cluster", sp.Service, prev, sp.Device)
+		}
+		c.serviceHost[sp.Service] = sp.Device
+		needServer[sp.Device] = true
+	}
+
+	// Start service servers and register remote directories everywhere.
+	serverAddr := make(map[string]string)
+	for devName := range needServer {
+		addr, err := c.devices[devName].ServeServices(0)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		serverAddr[devName] = addr.String()
+	}
+	for svc, host := range c.serviceHost {
+		for name, d := range c.devices {
+			if name == host {
+				continue
+			}
+			d.RegisterRemoteService(svc, serverAddr[host])
+		}
+	}
+	return c, nil
+}
+
+// Device returns a cluster device by name.
+func (c *Cluster) Device(name string) (*device.Device, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.devices[name]
+	return d, ok
+}
+
+// DeviceNames lists the devices in configuration order.
+func (c *Cluster) DeviceNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// ServiceHost reports which device hosts a service pool.
+func (c *Cluster) ServiceHost(service string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.serviceHost[service]
+	return h, ok
+}
+
+// Pool returns the pool backing a service, for scaling experiments.
+func (c *Cluster) Pool(service string) (*services.Pool, error) {
+	host, ok := c.ServiceHost(service)
+	if !ok {
+		return nil, fmt.Errorf("core: service %q not deployed", service)
+	}
+	d, _ := c.Device(host)
+	pool, ok := d.Pool(service)
+	if !ok {
+		return nil, fmt.Errorf("core: device %q lost pool %q", host, service)
+	}
+	return pool, nil
+}
+
+// Registry exposes the cluster's service registry.
+func (c *Cluster) Registry() *services.Registry { return c.registry }
+
+// Network exposes the simulated fabric, for link-shaping experiments.
+func (c *Cluster) Network() *netsim.Network { return c.network }
+
+// Metrics exposes the cluster-wide measurement registry shared by all
+// devices and pipelines.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// SetCodec overrides the frame codec on every device — the transfer-cost
+// ablation knob (JPEG vs raw).
+func (c *Cluster) SetCodec(codec frame.Codec) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.devices {
+		d.SetCodec(codec)
+	}
+}
+
+// ServiceNames lists deployed services, sorted.
+func (c *Cluster) ServiceNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.serviceHost))
+	for s := range c.serviceHost {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close stops all pipelines and devices.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pipelines := append([]*Pipeline(nil), c.pipelines...)
+	devs := make([]*device.Device, 0, len(c.devices))
+	for _, d := range c.devices {
+		devs = append(devs, d)
+	}
+	c.mu.Unlock()
+
+	for _, p := range pipelines {
+		p.Close()
+	}
+	for _, d := range devs {
+		d.Close()
+	}
+	if c.network != nil {
+		c.network.Close()
+	}
+}

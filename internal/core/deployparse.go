@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"videopipe/internal/device"
+)
+
+// Deployment sections of the configuration dialect. Beyond Listing 1's
+// module list, a config may describe the cluster it expects — the paper
+// notes each service "is embodied within a container spec" referenced from
+// the configuration:
+//
+//	devices : [
+//	  { name: phone, class: phone }
+//	  { name: desktop, class: desktop }
+//	]
+//	services : [
+//	  { name: pose_detector, device: desktop, instances: 2 }
+//	]
+
+// ParseClusterSpec extracts the optional devices/services sections from a
+// configuration. found reports whether the text declares any deployment at
+// all; when false the caller should fall back to a default cluster.
+func ParseClusterSpec(text string) (spec ClusterSpec, found bool, err error) {
+	toks, err := lexConfig(text)
+	if err != nil {
+		return ClusterSpec{}, false, err
+	}
+	p := &configParser{toks: toks}
+	doc, err := p.document()
+	if err != nil {
+		return ClusterSpec{}, false, err
+	}
+	return buildClusterSpec(doc)
+}
+
+func buildClusterSpec(doc *cfgObject) (ClusterSpec, bool, error) {
+	var spec ClusterSpec
+	found := false
+
+	if dv, ok := doc.get("devices"); ok {
+		found = true
+		list, ok := dv.([]cfgValue)
+		if !ok {
+			return ClusterSpec{}, false, fmt.Errorf("core: config: devices must be a list")
+		}
+		for i, raw := range list {
+			obj, ok := raw.(*cfgObject)
+			if !ok {
+				return ClusterSpec{}, false, fmt.Errorf("core: config: device %d is not an object", i)
+			}
+			dc, err := buildDevice(obj)
+			if err != nil {
+				return ClusterSpec{}, false, err
+			}
+			spec.Devices = append(spec.Devices, dc)
+		}
+	}
+
+	if sv, ok := doc.get("services"); ok {
+		found = true
+		list, ok := sv.([]cfgValue)
+		if !ok {
+			return ClusterSpec{}, false, fmt.Errorf("core: config: services must be a list")
+		}
+		for i, raw := range list {
+			obj, ok := raw.(*cfgObject)
+			if !ok {
+				return ClusterSpec{}, false, fmt.Errorf("core: config: service %d is not an object", i)
+			}
+			sp, err := buildPlacement(obj)
+			if err != nil {
+				return ClusterSpec{}, false, err
+			}
+			spec.Services = append(spec.Services, sp)
+		}
+	}
+	return spec, found, nil
+}
+
+func buildDevice(obj *cfgObject) (device.Config, error) {
+	var dc device.Config
+	for _, e := range obj.entries {
+		switch e.key {
+		case "name":
+			s, ok := e.value.(string)
+			if !ok {
+				return device.Config{}, fmt.Errorf("core: config line %d: device name must be a string", e.line)
+			}
+			dc.Name = s
+		case "class":
+			s, ok := e.value.(string)
+			if !ok {
+				return device.Config{}, fmt.Errorf("core: config line %d: device class must be a string", e.line)
+			}
+			class, err := device.ParseClass(s)
+			if err != nil {
+				return device.Config{}, fmt.Errorf("core: config line %d: %w", e.line, err)
+			}
+			dc.Class = class
+		case "cpu":
+			n, ok := e.value.(float64)
+			if !ok || n <= 0 {
+				return device.Config{}, fmt.Errorf("core: config line %d: device cpu must be a positive number", e.line)
+			}
+			dc.Profile.CPUFactor = n
+		case "containers":
+			s, ok := e.value.(string)
+			if !ok || (s != "true" && s != "false") {
+				return device.Config{}, fmt.Errorf("core: config line %d: containers must be true or false", e.line)
+			}
+			dc.Profile.ContainerCapable = s == "true"
+		default:
+			return device.Config{}, fmt.Errorf("core: config line %d: unknown device field %q", e.line, e.key)
+		}
+	}
+	if dc.Name == "" {
+		return device.Config{}, fmt.Errorf("core: config: device missing name")
+	}
+	if dc.Class == 0 && dc.Profile.CPUFactor == 0 {
+		return device.Config{}, fmt.Errorf("core: config: device %q needs a class or a cpu factor", dc.Name)
+	}
+	return dc, nil
+}
+
+func buildPlacement(obj *cfgObject) (ServicePlacement, error) {
+	var sp ServicePlacement
+	for _, e := range obj.entries {
+		switch e.key {
+		case "name", "service":
+			s, ok := e.value.(string)
+			if !ok {
+				return ServicePlacement{}, fmt.Errorf("core: config line %d: service name must be a string", e.line)
+			}
+			sp.Service = s
+		case "device":
+			s, ok := e.value.(string)
+			if !ok {
+				return ServicePlacement{}, fmt.Errorf("core: config line %d: service device must be a string", e.line)
+			}
+			sp.Device = s
+		case "instances":
+			n, ok := e.value.(float64)
+			if !ok || n < 1 || n != float64(int(n)) {
+				return ServicePlacement{}, fmt.Errorf("core: config line %d: instances must be a positive integer", e.line)
+			}
+			sp.Instances = int(n)
+		default:
+			return ServicePlacement{}, fmt.Errorf("core: config line %d: unknown service field %q", e.line, e.key)
+		}
+	}
+	if sp.Service == "" || sp.Device == "" {
+		return ServicePlacement{}, fmt.Errorf("core: config: service placement needs name and device")
+	}
+	return sp, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"videopipe/internal/device"
+)
+
+const deploymentConfig = `
+devices : [
+	{ name: phone, class: phone }
+	{ name: desktop, class: desktop }
+	{ name: kiosk, cpu: 0.7, containers: true }
+]
+services : [
+	{ name: pose_detector, device: desktop, instances: 2 }
+	{ name: display, device: kiosk }
+]
+modules : [
+	{ name: only, source: "function event_received(m) {}" }
+]
+`
+
+func TestParseClusterSpec(t *testing.T) {
+	spec, found, err := ParseClusterSpec(deploymentConfig)
+	if err != nil {
+		t.Fatalf("ParseClusterSpec: %v", err)
+	}
+	if !found {
+		t.Fatal("deployment sections not found")
+	}
+	if len(spec.Devices) != 3 {
+		t.Fatalf("devices = %d", len(spec.Devices))
+	}
+	if spec.Devices[0].Name != "phone" || spec.Devices[0].Class != device.Phone {
+		t.Errorf("device 0 = %+v", spec.Devices[0])
+	}
+	kiosk := spec.Devices[2]
+	if kiosk.Name != "kiosk" || kiosk.Profile.CPUFactor != 0.7 || !kiosk.Profile.ContainerCapable {
+		t.Errorf("kiosk = %+v", kiosk)
+	}
+	if len(spec.Services) != 2 {
+		t.Fatalf("services = %d", len(spec.Services))
+	}
+	if spec.Services[0] != (ServicePlacement{Service: "pose_detector", Device: "desktop", Instances: 2}) {
+		t.Errorf("placement 0 = %+v", spec.Services[0])
+	}
+	if spec.Services[1].Instances != 0 {
+		t.Errorf("default instances = %d, want 0 (pool default)", spec.Services[1].Instances)
+	}
+}
+
+func TestParseClusterSpecAbsent(t *testing.T) {
+	_, found, err := ParseClusterSpec(`modules: [ { name: a, source: "x" } ]`)
+	if err != nil {
+		t.Fatalf("ParseClusterSpec: %v", err)
+	}
+	if found {
+		t.Error("found deployment in config without one")
+	}
+}
+
+func TestParseClusterSpecErrors(t *testing.T) {
+	cases := []string{
+		`devices: { }`,                                     // not a list
+		`devices: [ 42 ]`,                                  // not an object
+		`devices: [ { class: phone } ]`,                    // missing name
+		`devices: [ { name: x } ]`,                         // no class or cpu
+		`devices: [ { name: x, class: toaster } ]`,         // unknown class
+		`devices: [ { name: x, cpu: -1 } ]`,                // bad cpu
+		`devices: [ { name: x, class: phone, bogus: 1 } ]`, // unknown field
+		`devices: [ { name: x, class: phone, containers: maybe } ]`,
+		`services: [ { name: pose } ]`,      // missing device
+		`services: [ { device: desktop } ]`, // missing name
+		`services: [ { name: p, device: d, instances: 0 } ]`,
+		`services: [ { name: p, device: d, instances: 1.5 } ]`,
+		`services: [ { name: p, device: d, weird: 1 } ]`,
+	}
+	for i, text := range cases {
+		if _, _, err := ParseClusterSpec(text); err == nil {
+			t.Errorf("case %d accepted: %s", i, text)
+		}
+	}
+}
+
+func TestModuleConfigIgnoresDeploymentSections(t *testing.T) {
+	// The pipeline parser must coexist with deployment sections in the
+	// same file.
+	cfg, err := ParseConfig("dep", deploymentConfig, nil)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if len(cfg.Modules) != 1 || cfg.Modules[0].Name != "only" {
+		t.Errorf("modules = %+v", cfg.Modules)
+	}
+}
+
+func TestDeviceParseClass(t *testing.T) {
+	for _, c := range []device.Class{device.Phone, device.Desktop, device.TV, device.Laptop, device.Watch, device.Fridge} {
+		got, err := device.ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%s) = %v, %v", c, got, err)
+		}
+	}
+	if _, err := device.ParseClass("toaster"); err == nil || !strings.Contains(err.Error(), "toaster") {
+		t.Errorf("ParseClass(toaster) = %v", err)
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"videopipe/internal/services"
+	"videopipe/internal/wire"
+)
+
+// Monitor implements the paper's stated future work (§7: "we aim to
+// include automatic deployment, scheduling and monitoring components"):
+// a cluster-level observer that samples pipeline progress, module errors
+// and service-pool utilization, detects stalled pipelines, and can drive
+// autoscalers for saturated services.
+type Monitor struct {
+	cluster *Cluster
+	// Interval is the sampling period; zero selects 250 ms.
+	Interval time.Duration
+	// StallAfter is how long a running pipeline may go without completing
+	// a frame before it is flagged; zero selects 2 s.
+	StallAfter time.Duration
+
+	mu       sync.Mutex
+	lastDone map[string]uint64
+	lastMove map[string]time.Time
+	stalled  map[string]bool
+	scalers  []*services.AutoScaler
+	pub      *wire.Pub
+}
+
+// NewMonitor creates a monitor for the cluster.
+func NewMonitor(c *Cluster) *Monitor {
+	return &Monitor{
+		cluster:  c,
+		lastDone: make(map[string]uint64),
+		lastMove: make(map[string]time.Time),
+		stalled:  make(map[string]bool),
+	}
+}
+
+// AutoScale attaches an autoscaler to a deployed service's pool; the
+// monitor steps it on every sample. It returns the scaler for inspection.
+func (m *Monitor) AutoScale(service string, minN, maxN int) (*services.AutoScaler, error) {
+	pool, err := m.cluster.Pool(service)
+	if err != nil {
+		return nil, err
+	}
+	interval := m.Interval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	as, err := services.NewAutoScaler(pool, minN, maxN, interval)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.scalers = append(m.scalers, as)
+	m.mu.Unlock()
+	return as, nil
+}
+
+// ModuleHealth is one module's observed state.
+type ModuleHealth struct {
+	Module string
+	Events uint64
+	Errors uint64
+}
+
+// PipelineHealth is one pipeline's observed state.
+type PipelineHealth struct {
+	Pipeline  string
+	Delivered uint64
+	Stalled   bool
+	Modules   []ModuleHealth
+}
+
+// ServiceHealth is one service pool's observed state.
+type ServiceHealth struct {
+	Service   string
+	Device    string
+	Instances int
+	InFlight  int
+	Calls     uint64
+}
+
+// Report is a point-in-time view of the cluster.
+type Report struct {
+	At        time.Time
+	Pipelines []PipelineHealth
+	Services  []ServiceHealth
+}
+
+// String renders the report for operators.
+func (r Report) String() string {
+	var b strings.Builder
+	for _, p := range r.Pipelines {
+		status := "ok"
+		if p.Stalled {
+			status = "STALLED"
+		}
+		fmt.Fprintf(&b, "pipeline %-20s delivered=%-6d %s\n", p.Pipeline, p.Delivered, status)
+		for _, mod := range p.Modules {
+			fmt.Fprintf(&b, "  module %-28s events=%-6d errors=%d\n", mod.Module, mod.Events, mod.Errors)
+		}
+	}
+	for _, s := range r.Services {
+		fmt.Fprintf(&b, "service %-20s on %-8s instances=%d in_flight=%d calls=%d\n",
+			s.Service, s.Device, s.Instances, s.InFlight, s.Calls)
+	}
+	return b.String()
+}
+
+// Sample takes one observation, updating stall tracking and stepping any
+// attached autoscalers.
+func (m *Monitor) Sample(ctx context.Context) Report {
+	now := time.Now()
+	reg := m.cluster.Metrics()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	rep := Report{At: now}
+
+	m.cluster.mu.Lock()
+	pipelines := append([]*Pipeline(nil), m.cluster.pipelines...)
+	m.cluster.mu.Unlock()
+
+	stallAfter := m.StallAfter
+	if stallAfter <= 0 {
+		stallAfter = 2 * time.Second
+	}
+
+	for _, p := range pipelines {
+		ph := PipelineHealth{Pipeline: p.Name()}
+		for _, sink := range p.cfg.Sinks() {
+			ph.Delivered += reg.Meter("pipeline." + p.prefixed(sink) + ".frames_done").Count()
+		}
+		for _, mod := range p.Modules() {
+			ph.Modules = append(ph.Modules, ModuleHealth{
+				Module: mod,
+				Events: reg.Meter("module." + p.prefixed(mod) + ".events").Count(),
+				Errors: reg.Meter("module." + p.prefixed(mod) + ".errors").Count(),
+			})
+		}
+
+		// Stall detection: a pipeline is stalled when it is mid-run and
+		// the delivered counter has not moved within the window.
+		key := p.Name()
+		if ph.Delivered != m.lastDone[key] {
+			m.lastDone[key] = ph.Delivered
+			m.lastMove[key] = now
+			m.stalled[key] = false
+		} else if p.isRunning() {
+			if last, seen := m.lastMove[key]; seen && now.Sub(last) > stallAfter {
+				m.stalled[key] = true
+			} else if !seen {
+				m.lastMove[key] = now
+			}
+		}
+		ph.Stalled = m.stalled[key]
+		rep.Pipelines = append(rep.Pipelines, ph)
+	}
+
+	for _, svc := range m.cluster.ServiceNames() {
+		pool, err := m.cluster.Pool(svc)
+		if err != nil {
+			continue
+		}
+		host, _ := m.cluster.ServiceHost(svc)
+		rep.Services = append(rep.Services, ServiceHealth{
+			Service:   svc,
+			Device:    host,
+			Instances: pool.Size(),
+			InFlight:  pool.InFlight(),
+			Calls:     pool.Calls(),
+		})
+	}
+	sort.Slice(rep.Services, func(i, j int) bool { return rep.Services[i].Service < rep.Services[j].Service })
+
+	for _, as := range m.scalers {
+		as.Step(ctx)
+	}
+	return rep
+}
+
+// TelemetryTopic is the pub/sub topic reports are broadcast under.
+const TelemetryTopic = "monitor.report"
+
+// ServeTelemetry broadcasts every report over a pub socket as JSON under
+// TelemetryTopic, so dashboards anywhere in the home can subscribe. It
+// returns the publisher; Close it (or close the monitor's context) when
+// done.
+func (m *Monitor) ServeTelemetry(t wire.Transport, port int) (*wire.Pub, error) {
+	pub, err := wire.ListenPub(t, port)
+	if err != nil {
+		return nil, fmt.Errorf("core: telemetry: %w", err)
+	}
+	m.mu.Lock()
+	m.pub = pub
+	m.mu.Unlock()
+	return pub, nil
+}
+
+// publish broadcasts a report when telemetry is enabled.
+func (m *Monitor) publish(rep Report) {
+	m.mu.Lock()
+	pub := m.pub
+	m.mu.Unlock()
+	if pub == nil {
+		return
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		return
+	}
+	// Best effort: a closed publisher just means telemetry is off.
+	_ = pub.Publish(TelemetryTopic, wire.NewMessage(data))
+}
+
+// Run samples periodically until ctx is done, delivering each report to
+// sink (which may be nil for scaling-only monitors).
+func (m *Monitor) Run(ctx context.Context, sink func(Report)) {
+	interval := m.Interval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			rep := m.Sample(ctx)
+			m.publish(rep)
+			if sink != nil {
+				sink(rep)
+			}
+		}
+	}
+}
+
+// isRunning reports whether the pipeline is mid-Run.
+func (p *Pipeline) isRunning() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"image/color"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"videopipe/internal/device"
+	"videopipe/internal/frame"
+	"videopipe/internal/metrics"
+	"videopipe/internal/vision"
+)
+
+// Pipeline is a deployed application: modules spawned across cluster
+// devices per a plan, wired into a DAG, with a paced source feeding the
+// first module under credit-based flow control (§2.3).
+type Pipeline struct {
+	name    string
+	cfg     PipelineConfig
+	cluster *Cluster
+	plan    Plan
+	planner string
+
+	modules map[string]*device.Module // raw module name -> instance
+	source  *frame.Source
+	entry   *device.Module
+
+	credits chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	running bool
+}
+
+// Launch validates, plans and deploys a pipeline onto the cluster. Module
+// and metric names are prefixed with the pipeline name, so multiple
+// pipelines coexist (sharing service pools, §5.2.2).
+func (c *Cluster) Launch(cfg PipelineConfig, planner Planner) (*Pipeline, error) {
+	if planner == nil {
+		planner = CoLocatePlanner{}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := planner.Plan(&cfg, c)
+	if err != nil {
+		return nil, err
+	}
+	for name, dev := range plan.Placement {
+		if _, ok := c.Device(dev); !ok {
+			return nil, fmt.Errorf("core: plan places %q on unknown device %q", name, dev)
+		}
+	}
+	// Every service a module uses must be reachable from its device.
+	for _, m := range cfg.Modules {
+		d, _ := c.Device(plan.Placement[m.Name])
+		for _, svc := range m.Services {
+			if !d.HasService(svc) {
+				return nil, fmt.Errorf("core: module %q on %q cannot reach service %q", m.Name, d.Name(), svc)
+			}
+		}
+	}
+
+	p := &Pipeline{
+		name:    cfg.Name,
+		cfg:     cfg,
+		cluster: c,
+		plan:    plan,
+		planner: planner.Name(),
+		modules: make(map[string]*device.Module, len(cfg.Modules)),
+		credits: make(chan struct{}, plan.Credits),
+	}
+
+	// Spawn sinks-first (reverse topological order) so every edge's
+	// destination endpoint exists when its source spawns.
+	order, err := cfg.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		mc, _ := cfg.Module(order[i])
+		if err := p.spawnModule(mc); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+
+	// All modules signal frame completion back to the source's credit
+	// pool; the script decides which module calls frame_done().
+	for _, m := range p.modules {
+		m.SetFrameDone(p.returnCredit)
+	}
+
+	// Build the source.
+	renderer := cfg.Source.Renderer
+	if renderer == nil {
+		renderer, err = sceneRenderer(cfg.Source)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	src, err := frame.NewSource(cfg.Source.FPS, renderer)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.source = src
+	p.entry = p.modules[cfg.Source.FirstModule]
+
+	c.mu.Lock()
+	c.pipelines = append(c.pipelines, p)
+	c.mu.Unlock()
+	return p, nil
+}
+
+func sceneRenderer(sc SourceConfig) (frame.Renderer, error) {
+	if sc.Scene == "" {
+		return frame.SolidRenderer(sc.Width, sc.Height, backgroundGray), nil
+	}
+	activity, err := vision.ParseActivity(sc.Scene)
+	if err != nil {
+		return nil, err
+	}
+	repRate := sc.RepRate
+	if repRate <= 0 {
+		repRate = 0.5
+	}
+	subject := vision.DefaultSubject()
+	subject.CenterX = float64(sc.Width) / 2
+	subject.CenterY = float64(sc.Height) * 0.54
+	subject.Scale = float64(sc.Height) / 6
+	return vision.SceneRenderer(sc.Width, sc.Height, activity, repRate, subject), nil
+}
+
+func (p *Pipeline) spawnModule(mc *ModuleConfig) error {
+	devName := p.plan.Placement[mc.Name]
+	d, _ := p.cluster.Device(devName)
+
+	var routes []device.Route
+	for _, next := range mc.Next {
+		dst := p.modules[next]
+		if dst == nil {
+			return fmt.Errorf("core: internal: destination %q not yet spawned", next)
+		}
+		route := device.Route{Module: p.prefixed(next), Label: next}
+		if p.plan.Placement[next] != devName {
+			route.Address = dst.Addr().String()
+		}
+		routes = append(routes, route)
+	}
+
+	port := 0
+	if mc.Endpoint.Port != 0 {
+		port = mc.Endpoint.Port
+	}
+	m, err := d.SpawnModule(device.ModuleSpec{
+		Name:         p.prefixed(mc.Name),
+		Source:       mc.Source,
+		Services:     mc.Services,
+		Port:         port,
+		Next:         routes,
+		MetricPrefix: p.name,
+	})
+	if err != nil {
+		return err
+	}
+	p.modules[mc.Name] = m
+	return nil
+}
+
+func (p *Pipeline) prefixed(module string) string { return p.name + "." + module }
+
+// Name reports the pipeline name.
+func (p *Pipeline) Name() string { return p.name }
+
+// PlannerName reports the placement strategy used.
+func (p *Pipeline) PlannerName() string { return p.planner }
+
+// Placement reports the module-to-device assignment.
+func (p *Pipeline) Placement() map[string]string {
+	out := make(map[string]string, len(p.plan.Placement))
+	for k, v := range p.plan.Placement {
+		out[k] = v
+	}
+	return out
+}
+
+// returnCredit gives a frame admission slot back to the source.
+func (p *Pipeline) returnCredit() {
+	select {
+	case p.credits <- struct{}{}:
+	default:
+	}
+}
+
+// RunResult summarizes one pipeline run — the measurements behind the
+// paper's Fig. 6 and Table 2.
+type RunResult struct {
+	// Pipeline and Planner identify the run.
+	Pipeline string
+	Planner  string
+	// Duration is the measured wall-clock window.
+	Duration time.Duration
+	// Source reports captured/emitted/dropped frames at the camera.
+	Source frame.SourceStats
+	// Delivered is the number of frames that completed the pipeline.
+	Delivered uint64
+	// FPS is the end-to-end delivered frame rate (Table 2's metric).
+	FPS float64
+	// E2E is the capture-to-display latency distribution (Fig. 6 "Total
+	// Duration").
+	E2E metrics.Snapshot
+	// Stages maps stage names to their latency distributions (Fig. 6
+	// bars), as reported by module scripts via metric().
+	Stages map[string]metrics.Snapshot
+}
+
+// String renders the result like the paper's tables.
+func (r RunResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s]: source %.1f fps -> delivered %.2f fps (%d frames, %d dropped at source), e2e %v\n",
+		r.Pipeline, r.Planner, float64(r.Source.Captured)/r.Duration.Seconds(), r.FPS, r.Delivered,
+		r.Source.Dropped, r.E2E.Mean.Round(time.Millisecond))
+	names := make([]string, 0, len(r.Stages))
+	for n := range r.Stages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  stage %-16s %s\n", n, r.Stages[n])
+	}
+	return b.String()
+}
+
+// Run drives the source for the given duration and collects results. A
+// pipeline can be Run repeatedly; metrics accumulate unless the cluster
+// registry is reset between runs.
+func (p *Pipeline) Run(ctx context.Context, d time.Duration) (RunResult, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return RunResult{}, fmt.Errorf("core: pipeline %q is closed", p.name)
+	}
+	if p.running {
+		p.mu.Unlock()
+		return RunResult{}, fmt.Errorf("core: pipeline %q is already running", p.name)
+	}
+	p.running = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.running = false
+		p.mu.Unlock()
+	}()
+
+	// Fill the credit pool.
+	for {
+		select {
+		case p.credits <- struct{}{}:
+			continue
+		default:
+		}
+		break
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	start := time.Now()
+	err := p.source.Run(runCtx, p.emit)
+	elapsed := time.Since(start)
+	if err != nil {
+		return RunResult{}, err
+	}
+	// Let in-flight frames drain before reading the meters.
+	time.Sleep(150 * time.Millisecond)
+	return p.collect(elapsed), nil
+}
+
+// emit is the source callback: admit the frame if a credit is available,
+// otherwise drop it at the source (§2.3: dropping happens at the beginning
+// of the pipeline, never inside it).
+func (p *Pipeline) emit(f *frame.Frame) bool {
+	select {
+	case <-p.credits:
+	default:
+		return false
+	}
+	body := map[string]any{
+		"captured_ms": float64(f.Captured.UnixNano()) / 1e6,
+		"seq":         float64(f.Seq),
+	}
+	ok, err := p.entry.TryInject(body, f)
+	if err != nil || !ok {
+		p.returnCredit()
+		return false
+	}
+	return true
+}
+
+// collect aggregates this pipeline's metrics from the cluster registry.
+func (p *Pipeline) collect(elapsed time.Duration) RunResult {
+	reg := p.cluster.Metrics()
+	res := RunResult{
+		Pipeline: p.name,
+		Planner:  p.planner,
+		Duration: elapsed,
+		Source:   p.source.Stats(),
+		Stages:   make(map[string]metrics.Snapshot),
+	}
+
+	var delivered uint64
+	var rate float64
+	for _, sink := range p.cfg.Sinks() {
+		meter := reg.Meter("pipeline." + p.prefixed(sink) + ".frames_done")
+		delivered += meter.Count()
+		rate += meter.Rate()
+		e2e := reg.Histogram("pipeline." + p.prefixed(sink) + ".e2e")
+		if e2e.Count() > 0 {
+			res.E2E = e2e.Snapshot()
+		}
+	}
+	res.Delivered = delivered
+	res.FPS = rate
+
+	stagePrefix := "stage." + p.name + "."
+	for _, name := range reg.HistogramNames() {
+		if strings.HasPrefix(name, stagePrefix) {
+			res.Stages[strings.TrimPrefix(name, stagePrefix)] = reg.Histogram(name).Snapshot()
+		}
+	}
+	return res
+}
+
+// Modules lists the deployed module names (unprefixed).
+func (p *Pipeline) Modules() []string {
+	out := make([]string, 0, len(p.modules))
+	for name := range p.modules {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Module returns a deployed module instance by its config name.
+func (p *Pipeline) Module(name string) (*device.Module, bool) {
+	m, ok := p.modules[name]
+	return m, ok
+}
+
+// UpdateModule hot-swaps a module's code in the running pipeline (live
+// redeployment, paper §7). Placement, routing and flow control are
+// untouched; the module's encapsulated state restarts fresh.
+func (p *Pipeline) UpdateModule(name, source string) error {
+	m, ok := p.modules[name]
+	if !ok {
+		return fmt.Errorf("core: pipeline %q has no module %q", p.name, name)
+	}
+	return m.UpdateSource(source)
+}
+
+// Close tears the pipeline's modules down.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, m := range p.modules {
+		m.Close()
+	}
+}
+
+// backgroundGray is the solid-source fill used when no scene is set.
+var backgroundGray = color.RGBA{R: 40, G: 40, B: 40, A: 255}

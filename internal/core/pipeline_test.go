@@ -1,0 +1,482 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"videopipe/internal/apps"
+	"videopipe/internal/core"
+	"videopipe/internal/device"
+	"videopipe/internal/netsim"
+	"videopipe/internal/services"
+	"videopipe/internal/vision"
+)
+
+// fastRegistry builds the standard services with tiny simulated costs and
+// a small training corpus, shared across tests.
+var (
+	fastRegOnce sync.Once
+	fastRegVal  *services.Registry
+	fastRegErr  error
+)
+
+func fastRegistry(t *testing.T) *services.Registry {
+	t.Helper()
+	fastRegOnce.Do(func() {
+		opts := services.DefaultOptions()
+		opts.PoseCost = 15 * time.Millisecond
+		opts.ActivityCost = 2 * time.Millisecond
+		opts.RepCost = time.Millisecond
+		opts.DisplayCost = time.Millisecond
+		opts.FallCost = time.Millisecond
+		cfg := vision.DefaultDatasetConfig()
+		cfg.SequencesPerActivity = 6
+		cfg.FramesPerSequence = 45
+		opts.DatasetConfig = cfg
+		fastRegVal, fastRegErr = services.NewStandardRegistry(opts)
+	})
+	if fastRegErr != nil {
+		t.Fatalf("NewStandardRegistry: %v", fastRegErr)
+	}
+	return fastRegVal
+}
+
+func homeCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(apps.HomeClusterSpec(), fastRegistry(t))
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	reg := fastRegistry(t)
+	if _, err := core.NewCluster(core.ClusterSpec{}, reg); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := core.NewCluster(core.ClusterSpec{Devices: []device.Config{{Name: "a"}}}, nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+	dup := core.ClusterSpec{Devices: []device.Config{{Name: "a"}, {Name: "a"}}}
+	if _, err := core.NewCluster(dup, reg); err == nil {
+		t.Error("duplicate devices accepted")
+	}
+	badSvc := core.ClusterSpec{
+		Devices:  []device.Config{{Name: "a", Class: device.Desktop}},
+		Services: []core.ServicePlacement{{Service: "nope", Device: "a"}},
+	}
+	if _, err := core.NewCluster(badSvc, reg); err == nil {
+		t.Error("unknown service accepted")
+	}
+	badDev := core.ClusterSpec{
+		Devices:  []device.Config{{Name: "a", Class: device.Desktop}},
+		Services: []core.ServicePlacement{{Service: services.PoseDetector, Device: "ghost"}},
+	}
+	if _, err := core.NewCluster(badDev, reg); err == nil {
+		t.Error("service on unknown device accepted")
+	}
+	noContainers := core.ClusterSpec{
+		Devices:  []device.Config{{Name: "a", Class: device.Phone}},
+		Services: []core.ServicePlacement{{Service: services.PoseDetector, Device: "a"}},
+	}
+	if _, err := core.NewCluster(noContainers, reg); err == nil {
+		t.Error("service on container-less device accepted")
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	c := homeCluster(t)
+	if names := c.DeviceNames(); len(names) != 3 || names[0] != "phone" {
+		t.Errorf("DeviceNames = %v", names)
+	}
+	if host, ok := c.ServiceHost(services.PoseDetector); !ok || host != "desktop" {
+		t.Errorf("ServiceHost(pose) = %q, %v", host, ok)
+	}
+	if host, ok := c.ServiceHost(services.Display); !ok || host != "tv" {
+		t.Errorf("ServiceHost(display) = %q, %v", host, ok)
+	}
+	if _, err := c.Pool(services.PoseDetector); err != nil {
+		t.Errorf("Pool: %v", err)
+	}
+	if _, err := c.Pool("ghost"); err == nil {
+		t.Error("Pool(ghost) succeeded")
+	}
+	if got := c.ServiceNames(); len(got) != 5 {
+		t.Errorf("ServiceNames = %v", got)
+	}
+}
+
+func TestCoLocatePlannerPlacesModulesWithServices(t *testing.T) {
+	c := homeCluster(t)
+	cfg := apps.FitnessConfig("fit", 10, "squat")
+	plan, err := core.CoLocatePlanner{}.Plan(&cfg, c)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	want := map[string]string{
+		"video_streaming":      "phone",
+		"pose_detection":       "desktop",
+		"activity_recognition": "desktop",
+		"rep_counter":          "desktop",
+		"display":              "tv",
+	}
+	for mod, dev := range want {
+		if plan.Placement[mod] != dev {
+			t.Errorf("placement[%s] = %q, want %q", mod, plan.Placement[mod], dev)
+		}
+	}
+	if plan.Credits != 2 {
+		t.Errorf("credits = %d, want 2", plan.Credits)
+	}
+}
+
+func TestBaselinePlannerPutsEverythingOnPhone(t *testing.T) {
+	c := homeCluster(t)
+	cfg := apps.FitnessConfig("fit", 10, "squat")
+	plan, err := core.BaselinePlanner{}.Plan(&cfg, c)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	for mod, dev := range plan.Placement {
+		if dev != "phone" {
+			t.Errorf("baseline placed %s on %s", mod, dev)
+		}
+	}
+	if plan.Credits != 1 {
+		t.Errorf("baseline credits = %d, want 1 (synchronous)", plan.Credits)
+	}
+}
+
+func validConfig() core.PipelineConfig {
+	return core.PipelineConfig{
+		Name: "test",
+		Modules: []core.ModuleConfig{
+			{Name: "a", Source: "function event_received(m) {}", Next: []string{"b"}},
+			{Name: "b", Source: "function event_received(m) {}"},
+		},
+		Source: core.SourceConfig{Device: "phone", FirstModule: "a", FPS: 10, Width: 64, Height: 48},
+	}
+}
+
+func TestPinnedPlanner(t *testing.T) {
+	c := homeCluster(t)
+	cfg := validConfig()
+	cfg.Modules[0].Device = "phone"
+	cfg.Modules[1].Device = "tv"
+	plan, err := core.PinnedPlanner{}.Plan(&cfg, c)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if plan.Placement["a"] != "phone" || plan.Placement["b"] != "tv" {
+		t.Errorf("placement = %v", plan.Placement)
+	}
+	cfg.Modules[1].Device = ""
+	if _, err := (core.PinnedPlanner{}).Plan(&cfg, c); err == nil {
+		t.Error("unpinned module accepted")
+	}
+	cfg.Modules[1].Device = "ghost"
+	if _, err := (core.PinnedPlanner{}).Plan(&cfg, c); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestLaunchRejectsUnreachableService(t *testing.T) {
+	c := homeCluster(t)
+	cfg := validConfig()
+	cfg.Modules[0].Services = []string{"undeployed_service"}
+	if _, err := c.Launch(cfg, nil); err == nil {
+		t.Error("Launch accepted module using undeployed service")
+	}
+}
+
+func TestFitnessPipelineEndToEnd(t *testing.T) {
+	c := homeCluster(t)
+	cfg := apps.FitnessConfig("fit", 20, "squat")
+	p, err := c.Launch(cfg, core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	res, err := p.Run(context.Background(), 3*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("result:\n%s", res)
+
+	if res.Delivered < 5 {
+		t.Errorf("delivered %d frames in 3s at 20fps, want >= 5", res.Delivered)
+	}
+	if res.FPS <= 0 {
+		t.Error("no delivered FPS")
+	}
+	if res.Source.Captured == 0 {
+		t.Error("source captured nothing")
+	}
+	// All Fig-6 stages must be measured. The activity stage only fires
+	// once the 15-frame window fills, which slow (race-detector) builds
+	// may not reach.
+	required := []string{"load_frame", "pose", "rep_count", "display", "total"}
+	if res.Delivered >= 16 {
+		required = append(required, "activity")
+	}
+	for _, stage := range required {
+		if res.Stages[stage].Count == 0 {
+			t.Errorf("stage %q not measured (stages: %v)", stage, res.Stages)
+		}
+	}
+	if res.E2E.Count == 0 {
+		t.Error("no end-to-end latency samples")
+	}
+	// The pose stage dominates (it carries the 15ms test-scaled DNN cost).
+	if res.Stages["pose"].Mean < res.Stages["rep_count"].Mean {
+		t.Error("pose stage should dominate rep counting")
+	}
+
+	// No frame leaks anywhere after the run drains.
+	deadline := time.Now().Add(3 * time.Second)
+	for _, devName := range c.DeviceNames() {
+		d, _ := c.Device(devName)
+		for d.Store().Len() > 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := d.Store().Len(); n > 0 {
+			t.Errorf("device %s leaks %d frames", devName, n)
+		}
+	}
+}
+
+func TestFitnessPipelineBaselinePlan(t *testing.T) {
+	reg := fastRegistry(t)
+	c, err := core.NewCluster(apps.BaselineClusterSpec(), reg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+
+	cfg := apps.FitnessConfig("fitb", 20, "squat")
+	p, err := c.Launch(cfg, core.BaselinePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	res, err := p.Run(context.Background(), 1500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("baseline result:\n%s", res)
+	// Loose bound: race-detector builds slow the pixel path heavily.
+	if res.Delivered < 2 {
+		t.Errorf("baseline delivered %d frames", res.Delivered)
+	}
+	// All modules on the phone: pose calls were remote.
+	phone, _ := c.Device("phone")
+	if phone.Metrics().Histogram("service."+services.PoseDetector+".remote").Count() == 0 {
+		t.Error("baseline made no remote pose calls")
+	}
+}
+
+func TestVideoPipeBeatsBaseline(t *testing.T) {
+	// The headline comparison at a saturating source rate, with
+	// test-scaled costs: co-location must deliver more FPS than the
+	// remote-API baseline.
+	reg := fastRegistry(t)
+
+	run := func(spec core.ClusterSpec, planner core.Planner, name string) float64 {
+		c, err := core.NewCluster(spec, reg)
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		defer c.Close()
+		p, err := c.Launch(apps.FitnessConfig(name, 60, "squat"), planner)
+		if err != nil {
+			t.Fatalf("Launch: %v", err)
+		}
+		res, err := p.Run(context.Background(), 2*time.Second)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.FPS
+	}
+
+	vp := run(apps.HomeClusterSpec(), core.CoLocatePlanner{}, "vp")
+	bl := run(apps.BaselineClusterSpec(), core.BaselinePlanner{}, "bl")
+	t.Logf("videopipe %.2f fps vs baseline %.2f fps", vp, bl)
+	if vp <= bl {
+		t.Errorf("videopipe (%.2f fps) did not beat baseline (%.2f fps)", vp, bl)
+	}
+}
+
+func TestTwoPipelinesShareServices(t *testing.T) {
+	c := homeCluster(t)
+	fit, err := c.Launch(apps.FitnessConfig("fit2", 10, "squat"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch(fitness): %v", err)
+	}
+	gest, err := c.Launch(apps.GestureConfig("gest2", 10, "clap"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch(gesture): %v", err)
+	}
+
+	var wg sync.WaitGroup
+	var fitRes, gestRes core.RunResult
+	var fitErr, gestErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		fitRes, fitErr = fit.Run(context.Background(), 3*time.Second)
+	}()
+	go func() {
+		defer wg.Done()
+		gestRes, gestErr = gest.Run(context.Background(), 3*time.Second)
+	}()
+	wg.Wait()
+	if fitErr != nil || gestErr != nil {
+		t.Fatalf("Run: %v / %v", fitErr, gestErr)
+	}
+	// Thresholds are loose: under the race detector the pixel work runs an
+	// order of magnitude slower.
+	if fitRes.Delivered < 2 || gestRes.Delivered < 2 {
+		t.Errorf("shared pipelines delivered %d / %d frames", fitRes.Delivered, gestRes.Delivered)
+	}
+	// Both pipelines hit the same pose pool.
+	pool, err := c.Pool(services.PoseDetector)
+	if err != nil {
+		t.Fatalf("Pool: %v", err)
+	}
+	if pool.Calls() < fitRes.Delivered+gestRes.Delivered {
+		t.Errorf("pose pool served %d calls, want >= %d", pool.Calls(), fitRes.Delivered+gestRes.Delivered)
+	}
+}
+
+func TestGesturePipelineTogglesIoT(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.GestureConfig("gesttoggle", 15, "clap"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	res, err := p.Run(context.Background(), 2500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("gesture result:\n%s", res)
+	if res.Stages["light_toggles"].Count == 0 {
+		t.Error("clapping never toggled the light")
+	}
+}
+
+func TestFallPipelineAlerts(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.FallConfig("falltest", 15), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	res, err := p.Run(context.Background(), 3*time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("fall result:\n%s", res)
+	if res.Stages["fall_alerts"].Count == 0 {
+		t.Error("fall never alerted")
+	}
+}
+
+func TestPipelineRunTwiceAndConcurrentRunRejected(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.FitnessConfig("fit3", 10, "squat"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	ctx := context.Background()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(ctx, 500*time.Millisecond)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := p.Run(ctx, time.Millisecond); err == nil {
+		t.Error("concurrent Run accepted")
+	}
+	<-done
+	if _, err := p.Run(ctx, 200*time.Millisecond); err != nil {
+		t.Errorf("second Run: %v", err)
+	}
+	p.Close()
+	if _, err := p.Run(ctx, time.Millisecond); err == nil {
+		t.Error("Run on closed pipeline accepted")
+	}
+}
+
+func TestLaunchParsedListing1Config(t *testing.T) {
+	// The Listing-1 dialect round trip: parse, launch, run.
+	c := homeCluster(t)
+	text := `
+	name: parsed
+	modules: [
+		{ name: streamer
+		  source: "function event_received(m) { call_module('analyze', {frame_ref: m.frame_ref, captured_ms: m.captured_ms}); }"
+		  next_module: analyze }
+		{ name: analyze
+		  source: "function event_received(m) { var r = call_service('pose_detector', {frame_ref: m.frame_ref}); metric('found', r.found ? 1 : 0); frame_done(); }"
+		  service: ['pose_detector'] }
+	]
+	source : { device: phone, module: streamer, fps: 15, width: 480, height: 360, scene: wave }
+	`
+	cfg, err := core.ParseConfig("parsed", text, nil)
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	p, err := c.Launch(*cfg, core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	res, err := p.Run(context.Background(), time.Second)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Stages["found"].Count == 0 {
+		t.Error("parsed pipeline processed no frames")
+	}
+	if res.Stages["found"].Mean == 0 {
+		t.Error("pose never found in parsed pipeline")
+	}
+}
+
+func TestLinkProfilesAffectPlacedPipelines(t *testing.T) {
+	// Sanity: with a WAN between phone and desktop, e2e latency grows.
+	reg := fastRegistry(t)
+	spec := apps.HomeClusterSpec()
+	c1, err := core.NewCluster(spec, reg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c1.Close()
+	spec2 := apps.HomeClusterSpec()
+	c2, err := core.NewCluster(spec2, reg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c2.Close()
+	// An exaggerated satellite-like link so the difference dwarfs
+	// compute noise (the race detector slows pixel work a lot).
+	c2.Network().SetLink("phone", "desktop", netsim.LinkProfile{Latency: 150 * time.Millisecond})
+
+	run := func(c *core.Cluster, name string) time.Duration {
+		p, err := c.Launch(apps.FitnessConfig(name, 10, "squat"), core.CoLocatePlanner{})
+		if err != nil {
+			t.Fatalf("Launch: %v", err)
+		}
+		res, err := p.Run(context.Background(), 1200*time.Millisecond)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.E2E.Mean
+	}
+	wifi := run(c1, "wifi")
+	wan := run(c2, "wan")
+	t.Logf("e2e wifi=%v wan=%v", wifi, wan)
+	if wan <= wifi {
+		t.Errorf("WAN e2e (%v) not slower than Wi-Fi (%v)", wan, wifi)
+	}
+}

@@ -1,0 +1,252 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"videopipe/internal/apps"
+	"videopipe/internal/core"
+	"videopipe/internal/device"
+	"videopipe/internal/services"
+)
+
+// TestPipelineSurvivesNetworkPartition cuts the phone↔desktop Wi-Fi link
+// mid-run and heals it: delivery stops during the outage (frames drop at
+// the source, per the queue-free design) and resumes after — the wire
+// layer's reconnect machinery recovers without operator action.
+func TestPipelineSurvivesNetworkPartition(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.FitnessConfig("partfit", 15, "squat"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+
+	reg := c.Metrics()
+	delivered := func() uint64 {
+		return reg.Meter("pipeline.partfit.display.frames_done").Count()
+	}
+
+	done := make(chan core.RunResult, 1)
+	go func() {
+		res, err := p.Run(context.Background(), 4*time.Second)
+		if err != nil {
+			t.Errorf("Run: %v", err)
+		}
+		done <- res
+	}()
+
+	// Phase 1: healthy.
+	waitCond(t, 2*time.Second, func() bool { return delivered() >= 5 })
+
+	// Phase 2: partition. Delivery stalls.
+	c.Network().Partition("phone", "desktop")
+	atCut := delivered()
+	time.Sleep(800 * time.Millisecond)
+	during := delivered()
+	if during > atCut+2 {
+		t.Errorf("delivered %d frames across a partition (had %d at cut)", during, atCut)
+	}
+
+	// Phase 3: heal. Delivery resumes.
+	c.Network().Heal("phone", "desktop")
+	waitCond(t, 3*time.Second, func() bool { return delivered() >= during+3 })
+
+	res := <-done
+	if res.Source.Dropped == 0 {
+		t.Error("no frames dropped at the source during the outage")
+	}
+}
+
+// TestPipelineSurvivesFlakyService runs the fitness chain against a pose
+// service that fails a third of its calls: failed frames are abandoned
+// (module error path), credits recycle via the runtime, and throughput
+// continues.
+func TestPipelineSurvivesFlakyService(t *testing.T) {
+	reg := services.NewRegistry()
+	std := fastRegistry(t)
+	var calls atomic.Int64
+	for _, name := range []string{services.PoseDetector, services.ActivityClassifier, services.RepCounter, services.Display, services.FallDetector} {
+		spec, err := std.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		if name == services.PoseDetector {
+			inner := spec.Handler
+			spec.Handler = func(ctx context.Context, req services.Request) (services.Response, error) {
+				if calls.Add(1)%3 == 0 {
+					return services.Response{}, errors.New("injected inference failure")
+				}
+				return inner(ctx, req)
+			}
+		}
+		if err := reg.Register(spec); err != nil {
+			t.Fatalf("Register(%s): %v", name, err)
+		}
+	}
+
+	cluster, err := core.NewCluster(apps.HomeClusterSpec(), reg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+
+	// The pose module catches service failures and abandons the frame.
+	cfg := apps.FitnessConfig("flaky", 15, "squat")
+	for i := range cfg.Modules {
+		if cfg.Modules[i].Name == "pose_detection" {
+			cfg.Modules[i].Source = `
+				function event_received(message) {
+					var r = null;
+					try {
+						r = call_service("pose_detector", {frame_ref: message.frame_ref});
+					} catch (e) {
+						metric("pose_failures", 1);
+						frame_done();
+						return;
+					}
+					if (!r.found) { frame_done(); return; }
+					call_module("activity_recognition", {
+						frame_ref: message.frame_ref,
+						pose: r.pose,
+						captured_ms: message.captured_ms,
+						seq: message.seq
+					});
+				}
+			`
+		}
+	}
+
+	p, err := cluster.Launch(cfg, core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	res, err := p.Run(context.Background(), 2500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Stages["pose_failures"].Count == 0 {
+		t.Error("no injected failures observed")
+	}
+	if res.Delivered < 5 {
+		t.Errorf("pipeline collapsed under flaky service: delivered %d", res.Delivered)
+	}
+	// Frames from failed calls must not leak.
+	for _, name := range cluster.DeviceNames() {
+		d, _ := cluster.Device(name)
+		waitCond(t, 3*time.Second, func() bool { return d.Store().Len() == 0 })
+	}
+}
+
+// TestPipelineSurvivesServiceErrorWithoutCatch exercises the default error
+// path: the module does NOT catch the failure, so event_received aborts;
+// the runtime still releases the frame and counts the error — the pipeline
+// loses credits but the device stays healthy.
+func TestPipelineErrorPathReleasesFrames(t *testing.T) {
+	reg := services.NewRegistry()
+	err := reg.Register(services.Spec{
+		Name: "alwaysfails",
+		Handler: func(context.Context, services.Request) (services.Response, error) {
+			return services.Response{}, errors.New("permanent failure")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, err := core.NewCluster(core.ClusterSpec{
+		Devices: []device.Config{
+			{Name: "phone", Class: device.Phone},
+			{Name: "desktop", Class: device.Desktop},
+		},
+		Services: []core.ServicePlacement{{Service: "alwaysfails", Device: "desktop"}},
+	}, reg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer cluster.Close()
+
+	cfg := core.PipelineConfig{
+		Name: "doomed",
+		Modules: []core.ModuleConfig{{
+			Name:     "m",
+			Source:   `function event_received(msg) { call_service("alwaysfails", {frame_ref: msg.frame_ref}); frame_done(); }`,
+			Services: []string{"alwaysfails"},
+		}},
+		Source: core.SourceConfig{Device: "phone", FirstModule: "m", FPS: 20, Width: 64, Height: 48},
+	}
+	p, err := cluster.Launch(cfg, core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if _, err := p.Run(context.Background(), time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Uncaught throws mean frame_done never runs: errors counted, frames
+	// released regardless.
+	if got := cluster.Metrics().Meter("module.doomed.m.errors").Count(); got == 0 {
+		t.Error("no module errors recorded")
+	}
+	desktop, _ := cluster.Device("desktop")
+	waitCond(t, 3*time.Second, func() bool { return desktop.Store().Len() == 0 })
+}
+
+// waitCond polls cond until it holds or the deadline passes.
+func waitCond(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("condition not met within %v", timeout)
+}
+
+// TestPipelineUpdateModuleLive hot-swaps the display module while the
+// pipeline runs: frames keep flowing and the new code takes over.
+func TestPipelineUpdateModuleLive(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.FitnessConfig("hotfit", 15, "squat"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := p.UpdateModule("ghost", "function event_received(m) {}"); err == nil {
+		t.Error("update of unknown module accepted")
+	}
+
+	done := make(chan core.RunResult, 1)
+	go func() {
+		res, err := p.Run(context.Background(), 3*time.Second)
+		if err != nil {
+			t.Errorf("Run: %v", err)
+		}
+		done <- res
+	}()
+
+	reg := c.Metrics()
+	waitCond(t, 2*time.Second, func() bool {
+		return reg.Meter("pipeline.hotfit.display.frames_done").Count() >= 3
+	})
+
+	// Swap the display module for one that tags its frames differently.
+	v2 := `
+		function event_received(message) {
+			metric("v2_total", now_ms() - message.captured_ms);
+			frame_done();
+		}
+	`
+	if err := p.UpdateModule("display", v2); err != nil {
+		t.Fatalf("UpdateModule: %v", err)
+	}
+	waitCond(t, 2*time.Second, func() bool {
+		return reg.Histogram("stage.hotfit.v2_total").Count() >= 3
+	})
+	res := <-done
+	if res.Delivered < 10 {
+		t.Errorf("delivered %d frames across a live update", res.Delivered)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LatencyAwarePlanner implements the paper's "scheduling" future work
+// (§7): instead of the fixed co-location rule, it places each module by
+// minimizing an explicit per-frame latency estimate built from the
+// cluster's link profiles — inbound frame-transfer cost from predecessors
+// plus remote-service-call penalties. On the paper's topology it derives
+// the same placement as CoLocatePlanner; on clusters where a module's
+// services are split across devices, or where links are asymmetric, it
+// weighs the trade-off instead of guessing.
+type LatencyAwarePlanner struct {
+	// Credits is the in-flight frame allowance; <= 0 selects 2.
+	Credits int
+	// EncodeCost estimates one codec pass for a frame crossing devices;
+	// zero selects 4 ms (JPEG at the applications' 480x360 geometry).
+	EncodeCost time.Duration
+}
+
+var _ Planner = LatencyAwarePlanner{}
+
+// Name identifies the strategy.
+func (LatencyAwarePlanner) Name() string { return "latency-aware" }
+
+// Plan greedily assigns each module (in topological order) to the device
+// with the lowest estimated per-frame cost.
+func (p LatencyAwarePlanner) Plan(cfg *PipelineConfig, c *Cluster) (Plan, error) {
+	order, err := cfg.TopoOrder()
+	if err != nil {
+		return Plan{}, err
+	}
+
+	frameBytes := estimateFrameBytes(cfg.Source.Width, cfg.Source.Height)
+	encode := p.EncodeCost
+	if encode <= 0 {
+		encode = 4 * time.Millisecond
+	}
+
+	devices := c.DeviceNames()
+	sort.Strings(devices)
+	placement := make(map[string]string, len(cfg.Modules))
+
+	// preds maps module -> its predecessors.
+	preds := make(map[string][]string)
+	for _, m := range cfg.Modules {
+		for _, next := range m.Next {
+			preds[next] = append(preds[next], m.Name)
+		}
+	}
+
+	for _, name := range order {
+		m, _ := cfg.Module(name)
+		if m.Device != "" {
+			if _, ok := c.Device(m.Device); !ok {
+				return Plan{}, fmt.Errorf("core: module %q pinned to unknown device %q", m.Name, m.Device)
+			}
+			placement[name] = m.Device
+			continue
+		}
+
+		best := ""
+		bestCost := time.Duration(1<<62 - 1)
+		for _, dev := range devices {
+			cost := p.moduleCost(cfg, c, m, dev, placement, preds[name], frameBytes, encode)
+			if cost < bestCost {
+				best, bestCost = dev, cost
+			}
+		}
+		if best == "" {
+			return Plan{}, fmt.Errorf("core: no placement candidate for module %q", name)
+		}
+		placement[name] = best
+	}
+
+	credits := p.Credits
+	if credits <= 0 {
+		credits = 2
+	}
+	return Plan{Placement: placement, Credits: credits}, nil
+}
+
+// moduleCost estimates the per-frame latency this module adds when placed
+// on dev.
+func (p LatencyAwarePlanner) moduleCost(cfg *PipelineConfig, c *Cluster, m *ModuleConfig, dev string, placed map[string]string, preds []string, frameBytes int, encode time.Duration) time.Duration {
+	var cost time.Duration
+
+	// Inbound frame transfers from already-placed predecessors (or from
+	// the camera for the first module).
+	sources := preds
+	if m.Name == cfg.Source.FirstModule {
+		sources = append([]string(nil), preds...)
+		if cfg.Source.Device != "" {
+			cost += p.transferCost(c, cfg.Source.Device, dev, frameBytes, encode)
+		}
+	}
+	for _, pred := range sources {
+		from, ok := placed[pred]
+		if !ok {
+			continue
+		}
+		cost += p.transferCost(c, from, dev, frameBytes, encode)
+	}
+
+	// Remote service penalties: a call to a service hosted elsewhere pays
+	// a round trip plus the frame upload.
+	for _, svc := range m.Services {
+		host, ok := c.ServiceHost(svc)
+		if !ok || host == dev {
+			continue
+		}
+		profile := c.Network().Profile(dev, host)
+		cost += profile.RTT() + encode + bandwidthDelay(profile.Bandwidth, frameBytes)
+	}
+	return cost
+}
+
+// transferCost estimates moving one frame from device a to device b.
+func (p LatencyAwarePlanner) transferCost(c *Cluster, a, b string, frameBytes int, encode time.Duration) time.Duration {
+	if a == b {
+		return 0
+	}
+	profile := c.Network().Profile(a, b)
+	return encode + profile.Latency + bandwidthDelay(profile.Bandwidth, frameBytes)
+}
+
+func bandwidthDelay(bandwidth int64, bytes int) time.Duration {
+	if bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / float64(bandwidth) * float64(time.Second))
+}
+
+// estimateFrameBytes approximates the JPEG size of a frame at the
+// applications' scene complexity.
+func estimateFrameBytes(width, height int) int {
+	if width <= 0 || height <= 0 {
+		return 40 << 10
+	}
+	return width * height / 4
+}

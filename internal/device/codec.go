@@ -1,0 +1,48 @@
+package device
+
+import (
+	"time"
+
+	"videopipe/internal/frame"
+)
+
+// paddedCodec wraps a frame codec so encode/decode take 1/cpuFactor as
+// long as they do on the reference machine: a phone-class device pays
+// phone-class media costs. The padding is sleep-based, like the service
+// compute model.
+type paddedCodec struct {
+	inner     frame.Codec
+	cpuFactor float64
+}
+
+var _ frame.Codec = paddedCodec{}
+
+// Name reports the wrapped codec's name.
+func (c paddedCodec) Name() string { return c.inner.Name() }
+
+// Encode runs the real encoder, then pads to the device-scaled duration.
+func (c paddedCodec) Encode(f *frame.Frame) ([]byte, error) {
+	start := time.Now()
+	data, err := c.inner.Encode(f)
+	c.pad(start)
+	return data, err
+}
+
+// Decode runs the real decoder, then pads to the device-scaled duration.
+func (c paddedCodec) Decode(data []byte) (*frame.Frame, error) {
+	start := time.Now()
+	f, err := c.inner.Decode(data)
+	c.pad(start)
+	return f, err
+}
+
+func (c paddedCodec) pad(start time.Time) {
+	if c.cpuFactor >= 1 || c.cpuFactor <= 0 {
+		return
+	}
+	elapsed := time.Since(start)
+	extra := time.Duration(float64(elapsed)*(1/c.cpuFactor)) - elapsed
+	if extra > 0 {
+		time.Sleep(extra)
+	}
+}

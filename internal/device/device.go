@@ -1,0 +1,338 @@
+// Package device models the heterogeneous edge devices VideoPipe runs on:
+// phones, desktops, TVs and other home hardware that differ in CPU speed
+// and in whether they can run containers (paper §1: "Some of these devices
+// … cannot run container-based applications but can support a high-level
+// language … Others … can run container-based applications").
+//
+// Every device exposes the same module runtime — an isolated PipeScript
+// context per module with the Table-1 host API — which is the paper's
+// central trick: a uniform runtime over non-uniform hardware. Container-
+// capable devices additionally host stateless service pools; modules call
+// services locally when co-located and transparently fall back to remote
+// API calls otherwise.
+package device
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"videopipe/internal/frame"
+	"videopipe/internal/metrics"
+	"videopipe/internal/services"
+	"videopipe/internal/wire"
+)
+
+// Class describes the kind of device, which determines its default
+// capability profile.
+type Class int
+
+// Device classes. Enums start at one.
+const (
+	Phone Class = iota + 1
+	Desktop
+	TV
+	Laptop
+	Watch
+	Fridge
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Phone:
+		return "phone"
+	case Desktop:
+		return "desktop"
+	case TV:
+		return "tv"
+	case Laptop:
+		return "laptop"
+	case Watch:
+		return "watch"
+	case Fridge:
+		return "fridge"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Profile is a class's default hardware capability.
+type Profile struct {
+	// CPUFactor scales service compute: 1.0 is the reference desktop.
+	CPUFactor float64
+	// MediaFactor scales codec work (JPEG encode/decode). Modern consumer
+	// devices carry hardware codecs, so this is usually 1.0 even on slow
+	// CPUs; wearables and appliances lack them. Zero means same as
+	// CPUFactor.
+	MediaFactor float64
+	// ContainerCapable reports whether the device can host services.
+	ContainerCapable bool
+}
+
+// DefaultProfile returns the capability profile the paper's testbed
+// implies for each class.
+func DefaultProfile(c Class) Profile {
+	switch c {
+	case Desktop:
+		return Profile{CPUFactor: 1.0, MediaFactor: 1.0, ContainerCapable: true}
+	case Laptop:
+		return Profile{CPUFactor: 0.8, MediaFactor: 1.0, ContainerCapable: true}
+	case Phone:
+		// 2018-flagship class: slow general compute relative to a desktop,
+		// but a hardware JPEG codec.
+		return Profile{CPUFactor: 0.5, MediaFactor: 1.0, ContainerCapable: false}
+	case TV:
+		return Profile{CPUFactor: 0.5, MediaFactor: 1.0, ContainerCapable: true}
+	case Watch:
+		return Profile{CPUFactor: 0.08, MediaFactor: 0.3, ContainerCapable: false}
+	case Fridge:
+		return Profile{CPUFactor: 0.15, MediaFactor: 0.3, ContainerCapable: false}
+	default:
+		return Profile{CPUFactor: 0.2}
+	}
+}
+
+// Config describes one device.
+type Config struct {
+	// Name is the device's network identity (netsim host name).
+	Name string
+	// Class is the device kind.
+	Class Class
+	// Profile overrides the class default when non-zero.
+	Profile Profile
+}
+
+// Device is a running edge device.
+type Device struct {
+	name    string
+	class   Class
+	profile Profile
+
+	transport wire.Transport
+	store     *frame.Store
+	codec     frame.Codec
+	reg       *metrics.Registry
+
+	logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	pools     map[string]*services.Pool
+	server    *services.Server
+	remoteDir map[string]string // service name -> "host:port"
+	clients   map[string]*services.Client
+	modules   map[string]*Module
+	closed    bool
+}
+
+// New creates a device on the given transport. reg receives the device's
+// measurements; nil creates a private registry.
+func New(cfg Config, t wire.Transport, reg *metrics.Registry) (*Device, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("device: config missing name")
+	}
+	if t == nil {
+		return nil, fmt.Errorf("device: %s: nil transport", cfg.Name)
+	}
+	profile := cfg.Profile
+	if profile.CPUFactor == 0 {
+		profile = DefaultProfile(cfg.Class)
+	}
+	if profile.MediaFactor == 0 {
+		profile.MediaFactor = profile.CPUFactor
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Device{
+		name:      cfg.Name,
+		class:     cfg.Class,
+		profile:   profile,
+		transport: t,
+		store:     frame.NewStore(0),
+		codec:     paddedCodec{inner: frame.JPEGCodec{Quality: 85}, cpuFactor: profile.MediaFactor},
+		reg:       reg,
+		pools:     make(map[string]*services.Pool),
+		remoteDir: make(map[string]string),
+		clients:   make(map[string]*services.Client),
+		modules:   make(map[string]*Module),
+	}, nil
+}
+
+// Name reports the device's network name.
+func (d *Device) Name() string { return d.name }
+
+// Class reports the device kind.
+func (d *Device) Class() Class { return d.class }
+
+// ContainerCapable reports whether services can be deployed here.
+func (d *Device) ContainerCapable() bool { return d.profile.ContainerCapable }
+
+// CPUFactor reports the device's relative compute speed.
+func (d *Device) CPUFactor() float64 { return d.profile.CPUFactor }
+
+// Store exposes the device's frame store.
+func (d *Device) Store() *frame.Store { return d.store }
+
+// Transport exposes the device's network view.
+func (d *Device) Transport() wire.Transport { return d.transport }
+
+// Metrics exposes the device's measurement registry.
+func (d *Device) Metrics() *metrics.Registry { return d.reg }
+
+// SetCodec overrides the frame codec used for network transfers. The
+// codec still pays device-scaled CPU cost.
+func (d *Device) SetCodec(c frame.Codec) {
+	d.codec = paddedCodec{inner: c, cpuFactor: d.profile.MediaFactor}
+}
+
+// SetLogf installs a sink for module log() output; nil silences it.
+func (d *Device) SetLogf(logf func(format string, args ...any)) { d.logf = logf }
+
+// DeployService starts a pool of n instances of the service on this
+// device. Only container-capable devices may host services (paper §2.2:
+// "we can only deploy the services on the devices that support
+// containers").
+func (d *Device) DeployService(spec services.Spec, n int) (*services.Pool, error) {
+	if !d.profile.ContainerCapable {
+		return nil, fmt.Errorf("device: %s (%s) cannot run containers", d.name, d.class)
+	}
+	pool, err := services.NewPool(spec, n, d.profile.CPUFactor)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.pools[spec.Name]; dup {
+		return nil, fmt.Errorf("device: %s already hosts %s", d.name, spec.Name)
+	}
+	d.pools[spec.Name] = pool
+	return pool, nil
+}
+
+// Pool returns the local pool for a service, if hosted here.
+func (d *Device) Pool(name string) (*services.Pool, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.pools[name]
+	return p, ok
+}
+
+// ServeServices exposes this device's pools to remote callers at port
+// (0 = ephemeral) and returns the bound address.
+func (d *Device) ServeServices(port int) (net.Addr, error) {
+	d.mu.Lock()
+	pools := make(map[string]*services.Pool, len(d.pools))
+	for n, p := range d.pools {
+		pools[n] = p
+	}
+	d.mu.Unlock()
+	srv, err := services.NewServer(d.transport, port, pools, d.codec)
+	if err != nil {
+		return nil, fmt.Errorf("device: %s: %w", d.name, err)
+	}
+	d.mu.Lock()
+	d.server = srv
+	d.mu.Unlock()
+	return srv.Addr(), nil
+}
+
+// RegisterRemoteService tells this device where to reach a service it does
+// not host.
+func (d *Device) RegisterRemoteService(name, address string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.remoteDir[name] = address
+}
+
+// CallService invokes a service by name: locally when a pool is hosted
+// here (the co-located fast path — no encode, no network), otherwise as a
+// remote API call to the registered address.
+func (d *Device) CallService(ctx context.Context, name string, args map[string]any, f *frame.Frame) (services.Response, error) {
+	start := time.Now()
+	resp, remote, err := d.callService(ctx, name, args, f)
+	where := "local"
+	if remote {
+		where = "remote"
+	}
+	d.reg.Histogram("service." + name + "." + where).Observe(time.Since(start))
+	return resp, err
+}
+
+func (d *Device) callService(ctx context.Context, name string, args map[string]any, f *frame.Frame) (services.Response, bool, error) {
+	if pool, ok := d.Pool(name); ok {
+		resp, err := pool.Invoke(ctx, services.Request{Args: args, Frame: f})
+		return resp, false, err
+	}
+
+	d.mu.Lock()
+	addr, ok := d.remoteDir[name]
+	if !ok {
+		d.mu.Unlock()
+		return services.Response{}, true, fmt.Errorf("device: %s: service %q neither local nor registered", d.name, name)
+	}
+	client, ok := d.clients[addr]
+	if !ok {
+		client = services.NewClient(d.transport, addr, d.codec)
+		d.clients[addr] = client
+	}
+	d.mu.Unlock()
+
+	resp, err := client.Call(ctx, name, args, f)
+	return resp, true, err
+}
+
+// HasService reports whether the device can reach the named service at
+// all (locally or remotely).
+func (d *Device) HasService(name string) bool {
+	if _, ok := d.Pool(name); ok {
+		return true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.remoteDir[name]
+	return ok
+}
+
+// Close stops the device: modules, service server and clients.
+func (d *Device) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	mods := make([]*Module, 0, len(d.modules))
+	for _, m := range d.modules {
+		mods = append(mods, m)
+	}
+	server := d.server
+	clients := make([]*services.Client, 0, len(d.clients))
+	for _, c := range d.clients {
+		clients = append(clients, c)
+	}
+	d.mu.Unlock()
+
+	for _, m := range mods {
+		m.Close()
+	}
+	if server != nil {
+		server.Close()
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+	return nil
+}
+
+// ParseClass parses a device class name from a configuration file.
+func ParseClass(s string) (Class, error) {
+	for _, c := range []Class{Phone, Desktop, TV, Laptop, Watch, Fridge} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("device: unknown device class %q", s)
+}

@@ -1,0 +1,263 @@
+package device
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+	"videopipe/internal/frame"
+
+	"videopipe/internal/script"
+	"videopipe/internal/wire"
+)
+
+// serviceCallTimeout bounds one service invocation from a module.
+const serviceCallTimeout = 30 * time.Second
+
+// bindHostAPI installs the Table-1 module interface plus runtime helpers
+// into the module's script context:
+//
+//	call_service(service, message) -> result   (paper Table 1)
+//	call_module(module, message)               (paper Table 1)
+//	log(values...)
+//	now_ms() -> number
+//	frame_done()                               (flow-control credit, §2.3)
+//	device_name() -> string
+//	metric(name, ms)
+//
+// Frames travel as "frame_ref" ids inside messages (paper §3: "rather than
+// copying the full image frames to the module, we pass on a reference id").
+func (m *Module) bindHostAPI() { m.bindHostAPIInto(m.ctx) }
+
+// bindHostAPIInto installs the bindings into an arbitrary context — used
+// both at spawn and when hot-swapping module code (UpdateSource).
+func (m *Module) bindHostAPIInto(ctx *script.Context) {
+	ctx.Bind("call_service", m.hostCallService)
+	ctx.Bind("call_module", m.hostCallModule)
+	ctx.Bind("log", m.hostLog)
+	ctx.Bind("now_ms", func([]script.Value) (script.Value, error) {
+		return float64(time.Now().UnixNano()) / 1e6, nil
+	})
+	ctx.Bind("frame_done", m.hostFrameDone)
+	ctx.Bind("device_name", func([]script.Value) (script.Value, error) {
+		return m.dev.name, nil
+	})
+	ctx.Bind("metric", m.hostMetric)
+}
+
+// hostCallService implements call_service(service, message).
+func (m *Module) hostCallService(args []script.Value) (script.Value, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("call_service: missing service name")
+	}
+	name, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("call_service: service name must be a string, got %s", script.TypeName(args[0]))
+	}
+	if len(m.allowed) > 0 && !m.allowed[name] {
+		return nil, fmt.Errorf("call_service: module %q is not configured to use service %q", m.spec.Name, name)
+	}
+
+	callArgs := map[string]any{}
+	if len(args) >= 2 && args[1] != nil {
+		converted, ok := script.ToGo(args[1]).(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("call_service: message must be an object, got %s", script.TypeName(args[1]))
+		}
+		callArgs = converted
+	}
+
+	// Resolve a frame reference into the actual frame for the service.
+	var reqFrame *frame.Frame
+	if refRaw, has := callArgs["frame_ref"]; has {
+		ref, ok := refRaw.(float64)
+		if !ok {
+			return nil, fmt.Errorf("call_service: frame_ref must be a number")
+		}
+		f, err := m.dev.store.Get(uint64(ref))
+		if err != nil {
+			return nil, fmt.Errorf("call_service: %w", err)
+		}
+		reqFrame = f
+		delete(callArgs, "frame_ref")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), serviceCallTimeout)
+	defer cancel()
+	resp, err := m.dev.CallService(ctx, name, callArgs, reqFrame)
+	if err != nil {
+		return nil, fmt.Errorf("call_service: %w", err)
+	}
+
+	result := resp.Result
+	if result == nil {
+		result = map[string]any{}
+	}
+	if resp.Frame != nil {
+		id, err := m.dev.store.Put(resp.Frame)
+		if err != nil {
+			return nil, fmt.Errorf("call_service: storing result frame: %w", err)
+		}
+		m.ownedRefs = append(m.ownedRefs, id)
+		result["frame_ref"] = float64(id)
+	}
+	return script.FromGo(result), nil
+}
+
+// hostCallModule implements call_module(module, message): the DAG edge
+// transfer. Local destinations receive the frame by reference; remote
+// destinations receive an encoded copy over the wire.
+func (m *Module) hostCallModule(args []script.Value) (script.Value, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("call_module: missing module name")
+	}
+	target, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("call_module: module name must be a string, got %s", script.TypeName(args[0]))
+	}
+	route, ok := m.routes[target]
+	if !ok {
+		return nil, fmt.Errorf("call_module: module %q has no edge to %q", m.spec.Name, target)
+	}
+
+	body := map[string]any{}
+	if len(args) >= 2 && args[1] != nil {
+		converted, ok := script.ToGo(args[1]).(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("call_module: message must be an object, got %s", script.TypeName(args[1]))
+		}
+		body = converted
+	}
+
+	var frameID uint64
+	if refRaw, has := body["frame_ref"]; has {
+		ref, ok := refRaw.(float64)
+		if !ok {
+			return nil, fmt.Errorf("call_module: frame_ref must be a number")
+		}
+		frameID = uint64(ref)
+		delete(body, "frame_ref")
+	}
+
+	if route.Address == "" {
+		return nil, m.deliverLocal(route.Module, body, frameID)
+	}
+	return nil, m.deliverRemote(route, body, frameID)
+}
+
+// deliverLocal hands an event to a module on the same device: the frame
+// reference is retained for the receiver — zero pixel copies.
+func (m *Module) deliverLocal(target string, body map[string]any, frameID uint64) error {
+	dst, ok := m.dev.Module(target)
+	if !ok {
+		return fmt.Errorf("call_module: local module %q not found on %s", target, m.dev.name)
+	}
+	ev := event{body: body}
+	if frameID != 0 {
+		if err := m.dev.store.Retain(frameID); err != nil {
+			return fmt.Errorf("call_module: %w", err)
+		}
+		ev.frameID = frameID
+	}
+	select {
+	case dst.events <- ev:
+		return nil
+	case <-dst.done:
+		if ev.frameID != 0 {
+			m.dev.store.Release(ev.frameID)
+		}
+		return fmt.Errorf("call_module: module %q is closed", target)
+	case <-m.done:
+		if ev.frameID != 0 {
+			m.dev.store.Release(ev.frameID)
+		}
+		return fmt.Errorf("call_module: module %q is closing", m.spec.Name)
+	}
+}
+
+// deliverRemote ships the event across the network, encoding the frame.
+func (m *Module) deliverRemote(route Route, body map[string]any, frameID uint64) error {
+	bodyJSON, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("call_module: marshal body: %w", err)
+	}
+	msg := wire.NewMessage(bodyJSON)
+	if frameID != 0 {
+		f, err := m.dev.store.Get(frameID)
+		if err != nil {
+			return fmt.Errorf("call_module: %w", err)
+		}
+		encStart := time.Now()
+		data, err := m.dev.codec.Encode(f)
+		if err != nil {
+			return fmt.Errorf("call_module: encode frame: %w", err)
+		}
+		m.dev.reg.Histogram("module." + m.spec.Name + ".encode").Observe(time.Since(encStart))
+		msg.Parts = append(msg.Parts, data)
+	}
+
+	m.pushMu.Lock()
+	push, ok := m.pushes[route.Address]
+	if !ok {
+		push = wire.DialPush(m.dev.transport, route.Address)
+		m.pushes[route.Address] = push
+	}
+	m.pushMu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), serviceCallTimeout)
+	defer cancel()
+	if err := push.Send(ctx, msg); err != nil {
+		return fmt.Errorf("call_module: send to %q at %s: %w", route.Module, route.Address, err)
+	}
+	return nil
+}
+
+// hostLog implements log(...): module diagnostics tagged with device and
+// module name.
+func (m *Module) hostLog(args []script.Value) (script.Value, error) {
+	parts := make([]any, 0, len(args))
+	for _, a := range args {
+		parts = append(parts, script.Stringify(a))
+	}
+	m.dev.reg.Meter("module." + m.spec.Name + ".logs").Mark()
+	if m.dev.logf != nil {
+		m.dev.logf("[%s/%s] %v", m.dev.name, m.spec.Name, parts)
+	}
+	return nil, nil
+}
+
+// hostFrameDone implements frame_done(): the sink's completion signal. The
+// runtime also records end-to-end pipeline latency from the current
+// frame's capture timestamp.
+func (m *Module) hostFrameDone([]script.Value) (script.Value, error) {
+	if m.currentFrame != nil && !m.currentFrame.Captured.IsZero() {
+		m.dev.reg.Histogram("pipeline." + m.spec.Name + ".e2e").Observe(time.Since(m.currentFrame.Captured))
+	}
+	m.dev.reg.Meter("pipeline." + m.spec.Name + ".frames_done").Mark()
+	if m.onFrameDone != nil {
+		m.onFrameDone()
+	}
+	return nil, nil
+}
+
+// hostMetric implements metric(name, ms): module-level stage timing, used
+// by the experiment scripts to report per-stage latency (Fig. 6).
+func (m *Module) hostMetric(args []script.Value) (script.Value, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("metric: need name and milliseconds")
+	}
+	name, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("metric: name must be a string")
+	}
+	ms, ok := args[1].(float64)
+	if !ok {
+		return nil, fmt.Errorf("metric: value must be a number")
+	}
+	key := "stage." + name
+	if m.spec.MetricPrefix != "" {
+		key = "stage." + m.spec.MetricPrefix + "." + name
+	}
+	m.dev.reg.Histogram(key).Observe(time.Duration(ms * float64(time.Millisecond)))
+	return nil, nil
+}

@@ -1,0 +1,396 @@
+package device
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"videopipe/internal/frame"
+	"videopipe/internal/script"
+	"videopipe/internal/wire"
+)
+
+// Route is one outgoing DAG edge from a module: the destination module
+// name and where it lives. An empty Address means the destination is
+// hosted on the same device and messages are handed over in process.
+type Route struct {
+	// Module is the destination module's spawned (possibly
+	// pipeline-prefixed) name.
+	Module string
+	// Label is the name module code uses in call_module; empty means the
+	// same as Module.
+	Label string
+	// Address locates the destination's inbound endpoint; empty means the
+	// destination is on this device.
+	Address string
+}
+
+// ModuleSpec describes one module to spawn on a device, derived from the
+// pipeline configuration (paper Listing 1).
+type ModuleSpec struct {
+	// Name identifies the module within its pipeline.
+	Name string
+	// Source is the module's PipeScript code. It may define init() and
+	// must define event_received(message).
+	Source string
+	// Services lists the services the module is allowed to call — the
+	// config's `service:` field.
+	Services []string
+	// Port is the bind port of the module's inbound endpoint (0 =
+	// ephemeral).
+	Port int
+	// Next lists the outgoing edges — the config's `next_module` field,
+	// resolved to routes by the deployment planner.
+	Next []Route
+	// MetricPrefix namespaces metric() observations (set to the pipeline
+	// name by the core runtime so concurrent pipelines don't mix).
+	MetricPrefix string
+}
+
+// event is one unit of work for a module: a message body plus an optional
+// frame already resident in the device store (the runtime passes frames by
+// reference id, paper §3).
+type event struct {
+	body    map[string]any
+	frameID uint64
+}
+
+// Module is a running module instance: an isolated script context fed by a
+// single event loop, mirroring one Duktape context per module.
+type Module struct {
+	dev  *Device
+	spec ModuleSpec
+
+	ctx    *script.Context
+	pull   *wire.Pull
+	events chan event
+	swaps  chan *script.Context
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	allowed map[string]bool
+	routes  map[string]Route
+	pushMu  sync.Mutex
+	pushes  map[string]*wire.Push
+
+	// onFrameDone is invoked when module code calls frame_done() — the
+	// queue-free flow-control signal back to the pipeline source (§2.3).
+	onFrameDone func()
+
+	// per-event state, touched only by the event loop goroutine.
+	ownedRefs    []uint64
+	currentFrame *frame.Frame
+
+	closeOnce sync.Once
+	loadErr   error
+}
+
+// SpawnModule creates, loads and starts a module on the device.
+func (d *Device) SpawnModule(spec ModuleSpec) (*Module, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("device: %s: module missing name", d.name)
+	}
+	if spec.Source == "" {
+		return nil, fmt.Errorf("device: %s: module %q has no source", d.name, spec.Name)
+	}
+	d.mu.Lock()
+	if _, dup := d.modules[spec.Name]; dup {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("device: %s: module %q already exists", d.name, spec.Name)
+	}
+	d.mu.Unlock()
+
+	m := &Module{
+		dev:  d,
+		spec: spec,
+		// Queue-free by design (§2.3): a single slot only decouples the
+		// socket reader from the handler; flow control keeps it near-empty.
+		events:  make(chan event, 1),
+		swaps:   make(chan *script.Context, 1),
+		done:    make(chan struct{}),
+		allowed: make(map[string]bool, len(spec.Services)),
+		routes:  make(map[string]Route, len(spec.Next)),
+		pushes:  make(map[string]*wire.Push),
+	}
+	for _, s := range spec.Services {
+		m.allowed[s] = true
+	}
+	for _, r := range spec.Next {
+		label := r.Label
+		if label == "" {
+			label = r.Module
+		}
+		m.routes[label] = r
+	}
+
+	m.ctx = script.NewContext()
+	m.bindHostAPI()
+	if err := m.ctx.Load(spec.Source); err != nil {
+		return nil, fmt.Errorf("device: %s: loading module %q: %w", d.name, spec.Name, err)
+	}
+
+	pull, err := wire.ListenPull(d.transport, spec.Port)
+	if err != nil {
+		return nil, fmt.Errorf("device: %s: module %q endpoint: %w", d.name, spec.Name, err)
+	}
+	m.pull = pull
+
+	d.mu.Lock()
+	d.modules[spec.Name] = m
+	d.mu.Unlock()
+
+	// init() runs on the event loop's goroutine before any events, so
+	// module state never sees concurrent access.
+	m.wg.Add(2)
+	go m.receiveLoop()
+	go m.eventLoop()
+	return m, nil
+}
+
+// Module returns a hosted module by name.
+func (d *Device) Module(name string) (*Module, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.modules[name]
+	return m, ok
+}
+
+// Name reports the module name.
+func (m *Module) Name() string { return m.spec.Name }
+
+// Addr reports the module's inbound endpoint address.
+func (m *Module) Addr() net.Addr { return m.pull.Addr() }
+
+// SetFrameDone installs the flow-control callback fired by frame_done().
+func (m *Module) SetFrameDone(fn func()) { m.onFrameDone = fn }
+
+// Inject delivers an event directly from Go — how the video source (a
+// camera, not a script) feeds the first module. The frame, if any, is
+// stored in the device store and owned by the receiving event.
+func (m *Module) Inject(ctx context.Context, body map[string]any, f *frame.Frame) error {
+	ev := event{body: body}
+	if f != nil {
+		id, err := m.dev.store.Put(f)
+		if err != nil {
+			return fmt.Errorf("device: inject into %s: %w", m.spec.Name, err)
+		}
+		ev.frameID = id
+	}
+	select {
+	case m.events <- ev:
+		return nil
+	case <-m.done:
+		return fmt.Errorf("device: module %s is closed", m.spec.Name)
+	case <-ctx.Done():
+		if ev.frameID != 0 {
+			m.dev.store.Release(ev.frameID)
+		}
+		return ctx.Err()
+	}
+}
+
+// TryInject is Inject without blocking: it reports false when the module
+// is busy (no credit) — the source-side drop point of the queue-free
+// design.
+func (m *Module) TryInject(body map[string]any, f *frame.Frame) (bool, error) {
+	ev := event{body: body}
+	if f != nil {
+		id, err := m.dev.store.Put(f)
+		if err != nil {
+			return false, fmt.Errorf("device: inject into %s: %w", m.spec.Name, err)
+		}
+		ev.frameID = id
+	}
+	select {
+	case m.events <- ev:
+		return true, nil
+	case <-m.done:
+		if ev.frameID != 0 {
+			m.dev.store.Release(ev.frameID)
+		}
+		return false, fmt.Errorf("device: module %s is closed", m.spec.Name)
+	default:
+		if ev.frameID != 0 {
+			m.dev.store.Release(ev.frameID)
+		}
+		return false, nil
+	}
+}
+
+// receiveLoop decodes inbound wire messages into events.
+func (m *Module) receiveLoop() {
+	defer m.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-m.done
+		cancel()
+	}()
+	for {
+		msg, err := m.pull.Recv(ctx)
+		if err != nil {
+			return
+		}
+		ev, err := m.decodeWireEvent(msg)
+		if err != nil {
+			m.dev.reg.Meter("module." + m.spec.Name + ".decode_errors").Mark()
+			continue
+		}
+		select {
+		case m.events <- ev:
+		case <-m.done:
+			if ev.frameID != 0 {
+				m.dev.store.Release(ev.frameID)
+			}
+			return
+		}
+	}
+}
+
+func (m *Module) decodeWireEvent(msg wire.Message) (event, error) {
+	var body map[string]any
+	if raw := msg.Part(0); len(raw) > 0 {
+		if err := json.Unmarshal(raw, &body); err != nil {
+			return event{}, fmt.Errorf("device: module %s: bad message body: %w", m.spec.Name, err)
+		}
+	}
+	ev := event{body: body}
+	if msg.Len() >= 2 && len(msg.Part(1)) > 0 {
+		f, err := m.dev.codec.Decode(msg.Part(1))
+		if err != nil {
+			return event{}, fmt.Errorf("device: module %s: bad frame payload: %w", m.spec.Name, err)
+		}
+		id, err := m.dev.store.Put(f)
+		if err != nil {
+			return event{}, err
+		}
+		ev.frameID = id
+	}
+	return ev, nil
+}
+
+// eventLoop runs init() then serially applies events to the script
+// context.
+func (m *Module) eventLoop() {
+	defer m.wg.Done()
+	if m.ctx.Has("init") {
+		if _, err := m.ctx.Call("init"); err != nil {
+			m.loadErr = err
+			m.dev.reg.Meter("module." + m.spec.Name + ".errors").Mark()
+		}
+	}
+	for {
+		select {
+		case <-m.done:
+			return
+		case ctx := <-m.swaps:
+			m.applySwap(ctx)
+		case ev := <-m.events:
+			m.handleEvent(ev)
+		}
+	}
+}
+
+// applySwap replaces the script context between events — the hot-update
+// path. Module state resets (the new code's top level ran at parse time);
+// init() runs on the fresh context before the next event.
+func (m *Module) applySwap(ctx *script.Context) {
+	m.ctx = ctx
+	if ctx.Has("init") {
+		if _, err := ctx.Call("init"); err != nil {
+			m.dev.reg.Meter("module." + m.spec.Name + ".errors").Mark()
+		}
+	}
+	m.dev.reg.Meter("module." + m.spec.Name + ".updates").Mark()
+}
+
+// UpdateSource hot-swaps the module's code without disturbing its
+// endpoint, routes or in-flight traffic — the live-redeployment half of
+// the paper's "automatic deployment" future work. The new source is parsed
+// and loaded off to the side; on failure the running module is untouched.
+// The swap takes effect between events; module state starts fresh.
+func (m *Module) UpdateSource(source string) error {
+	if source == "" {
+		return fmt.Errorf("device: module %s: empty source", m.spec.Name)
+	}
+	ctx := script.NewContext()
+	m.bindHostAPIInto(ctx)
+	if err := ctx.Load(source); err != nil {
+		return fmt.Errorf("device: updating module %s: %w", m.spec.Name, err)
+	}
+	select {
+	case m.swaps <- ctx:
+		return nil
+	case <-m.done:
+		return fmt.Errorf("device: module %s is closed", m.spec.Name)
+	default:
+		return fmt.Errorf("device: module %s already has an update pending", m.spec.Name)
+	}
+}
+
+func (m *Module) handleEvent(ev event) {
+	start := time.Now()
+	m.ownedRefs = m.ownedRefs[:0]
+	m.currentFrame = nil
+	if ev.frameID != 0 {
+		m.ownedRefs = append(m.ownedRefs, ev.frameID)
+		if f, err := m.dev.store.Get(ev.frameID); err == nil {
+			m.currentFrame = f
+		}
+		if ev.body == nil {
+			ev.body = make(map[string]any, 1)
+		}
+		ev.body["frame_ref"] = float64(ev.frameID)
+	}
+
+	_, err := m.ctx.Call("event_received", script.FromGo(anyMap(ev.body)))
+	if err != nil {
+		m.dev.reg.Meter("module." + m.spec.Name + ".errors").Mark()
+	}
+
+	// Release every frame reference this event owned; anything handed to a
+	// local successor was retained on its behalf.
+	for _, id := range m.ownedRefs {
+		m.dev.store.Release(id)
+	}
+	m.ownedRefs = m.ownedRefs[:0]
+	m.currentFrame = nil
+	m.dev.reg.Histogram("module." + m.spec.Name + ".handle").Observe(time.Since(start))
+	m.dev.reg.Meter("module." + m.spec.Name + ".events").Mark()
+}
+
+func anyMap(m map[string]any) map[string]any {
+	if m == nil {
+		return map[string]any{}
+	}
+	return m
+}
+
+// Close stops the module and its sockets.
+func (m *Module) Close() {
+	m.closeOnce.Do(func() {
+		close(m.done)
+		m.pull.Close()
+		m.pushMu.Lock()
+		for _, p := range m.pushes {
+			p.Close()
+		}
+		m.pushMu.Unlock()
+		m.wg.Wait()
+		// Drain any event parked in the channel so its frame ref is not
+		// leaked in the store.
+		for {
+			select {
+			case ev := <-m.events:
+				if ev.frameID != 0 {
+					m.dev.store.Release(ev.frameID)
+				}
+			default:
+				return
+			}
+		}
+	})
+}

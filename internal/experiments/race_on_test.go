@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active: pixel work runs an
+// order of magnitude slower, so performance-shape assertions (which compare
+// simulated costs that real compute then dwarfs) are skipped.
+const raceEnabled = true

@@ -1,0 +1,128 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"image/jpeg"
+	"time"
+)
+
+// Codec encodes frames for network transfer. The paper's pipeline encodes
+// and decodes images whenever frames cross a device boundary (§3.2); the
+// codec's CPU cost and output size drive the baseline-vs-VideoPipe gap, so
+// both a real JPEG path and a raw path are provided.
+type Codec interface {
+	// Encode serializes a frame.
+	Encode(f *Frame) ([]byte, error)
+	// Decode reconstructs a frame from Encode's output.
+	Decode(data []byte) (*Frame, error)
+	// Name identifies the codec in configs and metrics.
+	Name() string
+}
+
+// header layout shared by both codecs:
+// [8 seq][8 capturedUnixNano][4 width][4 height][payload...]
+const headerSize = 8 + 8 + 4 + 4
+
+func marshalHeader(f *Frame) []byte {
+	buf := make([]byte, headerSize)
+	binary.BigEndian.PutUint64(buf[0:], f.Seq)
+	binary.BigEndian.PutUint64(buf[8:], uint64(f.Captured.UnixNano()))
+	binary.BigEndian.PutUint32(buf[16:], uint32(f.Width))
+	binary.BigEndian.PutUint32(buf[20:], uint32(f.Height))
+	return buf
+}
+
+func unmarshalHeader(data []byte) (seq uint64, captured time.Time, w, h int, payload []byte, err error) {
+	if len(data) < headerSize {
+		return 0, time.Time{}, 0, 0, nil, fmt.Errorf("frame: truncated header (%d bytes)", len(data))
+	}
+	seq = binary.BigEndian.Uint64(data[0:])
+	captured = time.Unix(0, int64(binary.BigEndian.Uint64(data[8:])))
+	w = int(binary.BigEndian.Uint32(data[16:]))
+	h = int(binary.BigEndian.Uint32(data[20:]))
+	if w <= 0 || h <= 0 || w*h > 64<<20 {
+		return 0, time.Time{}, 0, 0, nil, fmt.Errorf("frame: bad dimensions %dx%d", w, h)
+	}
+	return seq, captured, w, h, data[headerSize:], nil
+}
+
+// JPEGCodec compresses frames with the standard library JPEG encoder,
+// giving realistic transfer sizes and encode/decode CPU cost.
+type JPEGCodec struct {
+	// Quality is the JPEG quality (1-100); zero means jpeg.DefaultQuality.
+	Quality int
+}
+
+var _ Codec = JPEGCodec{}
+
+// Name identifies the codec.
+func (JPEGCodec) Name() string { return "jpeg" }
+
+// Encode serializes the frame header plus JPEG payload.
+func (c JPEGCodec) Encode(f *Frame) ([]byte, error) {
+	q := c.Quality
+	if q == 0 {
+		q = jpeg.DefaultQuality
+	}
+	var buf bytes.Buffer
+	buf.Write(marshalHeader(f))
+	if err := jpeg.Encode(&buf, f.ToImage(), &jpeg.Options{Quality: q}); err != nil {
+		return nil, fmt.Errorf("frame: jpeg encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs a frame from a JPEG-encoded payload. JPEG is lossy:
+// pixel values approximate the original.
+func (c JPEGCodec) Decode(data []byte) (*Frame, error) {
+	seq, captured, w, h, payload, err := unmarshalHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	img, err := jpeg.Decode(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("frame: jpeg decode: %w", err)
+	}
+	f := FromImage(img)
+	if f.Width != w || f.Height != h {
+		return nil, fmt.Errorf("frame: header says %dx%d but payload is %dx%d", w, h, f.Width, f.Height)
+	}
+	f.Seq = seq
+	f.Captured = captured
+	return f, nil
+}
+
+// RawCodec serializes pixels verbatim: lossless, zero compression cost,
+// maximal size. It is the ablation point for "what if we didn't compress".
+type RawCodec struct{}
+
+var _ Codec = RawCodec{}
+
+// Name identifies the codec.
+func (RawCodec) Name() string { return "raw" }
+
+// Encode concatenates the header and raw pixels.
+func (RawCodec) Encode(f *Frame) ([]byte, error) {
+	out := make([]byte, 0, headerSize+len(f.Pix))
+	out = append(out, marshalHeader(f)...)
+	out = append(out, f.Pix...)
+	return out, nil
+}
+
+// Decode reconstructs the frame exactly.
+func (RawCodec) Decode(data []byte) (*Frame, error) {
+	seq, captured, w, h, payload, err := unmarshalHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != w*h*4 {
+		return nil, fmt.Errorf("frame: raw payload is %d bytes, want %d", len(payload), w*h*4)
+	}
+	f := MustNew(w, h)
+	copy(f.Pix, payload)
+	f.Seq = seq
+	f.Captured = captured
+	return f, nil
+}

@@ -1,0 +1,174 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Tape is a recorded frame sequence: the reproducibility primitive that
+// stands in for a saved camera trace. Record a synthetic run once, then
+// Replay it as a pipeline source to get bit-identical inputs across
+// experiments (absent a real camera, determinism is the next best thing).
+//
+// On-disk layout: magic "VPT1", uint32 frame count, then per frame a
+// uint32 length followed by a codec-encoded frame record.
+type Tape struct {
+	frames [][]byte
+	codec  Codec
+}
+
+// tapeMagic identifies the container format.
+var tapeMagic = [4]byte{'V', 'P', 'T', '1'}
+
+// NewTape creates an empty tape using the given codec (nil = JPEG q85).
+func NewTape(codec Codec) *Tape {
+	if codec == nil {
+		codec = JPEGCodec{Quality: 85}
+	}
+	return &Tape{codec: codec}
+}
+
+// Len reports the number of recorded frames.
+func (t *Tape) Len() int { return len(t.frames) }
+
+// Append records one frame.
+func (t *Tape) Append(f *Frame) error {
+	data, err := t.codec.Encode(f)
+	if err != nil {
+		return fmt.Errorf("frame: tape append: %w", err)
+	}
+	t.frames = append(t.frames, data)
+	return nil
+}
+
+// RecordRenderer captures n frames from a renderer at the given fps,
+// stamping sequence numbers and synthetic capture times.
+func (t *Tape) RecordRenderer(r Renderer, n int, fps float64) error {
+	if r == nil || n <= 0 || fps <= 0 {
+		return fmt.Errorf("frame: tape record: bad arguments")
+	}
+	interval := time.Duration(float64(time.Second) / fps)
+	for i := 0; i < n; i++ {
+		f, err := r(uint64(i), time.Duration(i)*interval)
+		if err != nil {
+			return fmt.Errorf("frame: tape record frame %d: %w", i, err)
+		}
+		f.Seq = uint64(i)
+		if err := t.Append(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the tape.
+func (t *Tape) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := w.Write(tapeMagic[:])
+	total += int64(n)
+	if err != nil {
+		return total, fmt.Errorf("frame: tape write: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(t.frames)))
+	n, err = w.Write(hdr[:])
+	total += int64(n)
+	if err != nil {
+		return total, fmt.Errorf("frame: tape write: %w", err)
+	}
+	for _, data := range t.frames {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+		n, err = w.Write(hdr[:])
+		total += int64(n)
+		if err != nil {
+			return total, fmt.Errorf("frame: tape write: %w", err)
+		}
+		n, err = w.Write(data)
+		total += int64(n)
+		if err != nil {
+			return total, fmt.Errorf("frame: tape write: %w", err)
+		}
+	}
+	return total, nil
+}
+
+// maxTapeFrames bounds a loaded tape, protecting readers from corrupt
+// headers.
+const maxTapeFrames = 1 << 20
+
+// ReadTape deserializes a tape written by WriteTo.
+func ReadTape(r io.Reader, codec Codec) (*Tape, error) {
+	if codec == nil {
+		codec = JPEGCodec{Quality: 85}
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("frame: tape read: %w", err)
+	}
+	if magic != tapeMagic {
+		return nil, fmt.Errorf("frame: not a tape (magic %q)", magic)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("frame: tape read count: %w", err)
+	}
+	count := binary.BigEndian.Uint32(hdr[:])
+	if count > maxTapeFrames {
+		return nil, fmt.Errorf("frame: tape claims %d frames, limit %d", count, maxTapeFrames)
+	}
+	t := &Tape{codec: codec}
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("frame: tape read frame %d length: %w", i, err)
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size > MaxTapeFrameBytes {
+			return nil, fmt.Errorf("frame: tape frame %d is %d bytes, limit %d", i, size, MaxTapeFrameBytes)
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("frame: tape read frame %d: %w", i, err)
+		}
+		t.frames = append(t.frames, data)
+	}
+	return t, nil
+}
+
+// MaxTapeFrameBytes bounds one stored frame record.
+const MaxTapeFrameBytes = 32 << 20
+
+// Frame decodes recorded frame i.
+func (t *Tape) Frame(i int) (*Frame, error) {
+	if i < 0 || i >= len(t.frames) {
+		return nil, fmt.Errorf("frame: tape index %d out of range [0,%d)", i, len(t.frames))
+	}
+	return t.codec.Decode(t.frames[i])
+}
+
+// Renderer replays the tape as a pipeline source; playback loops when the
+// sequence runs out, so a short recording drives arbitrarily long runs.
+func (t *Tape) Renderer() Renderer {
+	return func(seq uint64, _ time.Duration) (*Frame, error) {
+		if len(t.frames) == 0 {
+			return nil, fmt.Errorf("frame: empty tape")
+		}
+		f, err := t.Frame(int(seq % uint64(len(t.frames))))
+		if err != nil {
+			return nil, err
+		}
+		f.Seq = seq
+		return f, nil
+	}
+}
+
+// Bytes serializes the tape to memory.
+func (t *Tape) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,166 @@
+// Package metrics provides the measurement primitives used throughout
+// VideoPipe: latency histograms with percentile queries, event-rate meters
+// for frame-per-second accounting, and named per-stage timing registries.
+//
+// All types are safe for concurrent use and have useful zero values where
+// practical; constructors are provided for types that need configuration.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxSamples bounds the memory used by a Histogram. Once full, new samples
+// replace pseudo-randomly chosen old ones (reservoir sampling) so the
+// distribution stays representative over long runs.
+const maxSamples = 8192
+
+// Histogram records duration samples and answers distribution queries.
+// The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	// rng is a tiny xorshift state used for reservoir replacement. It is
+	// seeded lazily from the sample count, keeping the type dependency-free
+	// and deterministic for tests.
+	rng uint64
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < maxSamples {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Reservoir replacement: keep each sample with probability maxSamples/count.
+	if h.rng == 0 {
+		h.rng = h.count*2862933555777941757 + 3037000493
+	}
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if idx := h.rng % h.count; idx < maxSamples {
+		h.samples[idx] = d
+	}
+}
+
+// Count reports the number of observed samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the arithmetic mean of all observed samples, or zero when no
+// samples have been recorded.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(int64(h.sum) / int64(h.count))
+}
+
+// Min reports the smallest observed sample, or zero when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max reports the largest observed sample, or zero when empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile reports the q-quantile (0 ≤ q ≤ 1) of the retained samples.
+// It returns zero when no samples have been recorded.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Snapshot captures the histogram's summary statistics at a point in time.
+type Snapshot struct {
+	Count uint64
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot returns a consistent summary of the histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the snapshot in a compact, human-readable form.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v min=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Reset discards all recorded samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = h.samples[:0]
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}

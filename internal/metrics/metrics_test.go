@@ -1,0 +1,279 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Count(); got != 0 {
+		t.Errorf("Count() = %d, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("Mean() = %v, want 0", got)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		h.Observe(d * time.Millisecond)
+	}
+	if got, want := h.Count(), uint64(5); got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+	if got, want := h.Mean(), 30*time.Millisecond; got != want {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	if got, want := h.Min(), 10*time.Millisecond; got != want {
+		t.Errorf("Min() = %v, want %v", got, want)
+	}
+	if got, want := h.Max(), 50*time.Millisecond; got != want {
+		t.Errorf("Max() = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0.5), 30*time.Millisecond; got != want {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0), 10*time.Millisecond; got != want {
+		t.Errorf("Quantile(0) = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(1), 50*time.Millisecond; got != want {
+		t.Errorf("Quantile(1) = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(100 * time.Millisecond)
+	if got, want := h.Quantile(0.5), 50*time.Millisecond; got != want {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0.25), 25*time.Millisecond; got != want {
+		t.Errorf("Quantile(0.25) = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 3*maxSamples; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if got, want := h.Count(), uint64(3*maxSamples); got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+	h.mu.Lock()
+	n := len(h.samples)
+	h.mu.Unlock()
+	if n > maxSamples {
+		t.Errorf("len(samples) = %d, want <= %d", n, maxSamples)
+	}
+	// Max must be exact even though samples are downsampled.
+	if got, want := h.Max(), time.Duration(3*maxSamples-1); got != want {
+		t.Errorf("Max() = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Errorf("after Reset: %+v, want all zeros", h.Snapshot())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(8000); got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	// Property: quantiles are monotonically non-decreasing in q, and bounded
+	// by min and max, for any sample set.
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(time.Duration(v))
+		}
+		prev := h.Quantile(0)
+		if prev < h.Min() {
+			return false
+		}
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return prev <= h.Max()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter()
+	base := time.Unix(1000, 0)
+	tick := 0
+	m.SetClock(func() time.Time {
+		t := base.Add(time.Duration(tick) * 100 * time.Millisecond)
+		tick++
+		return t
+	})
+	for i := 0; i < 11; i++ {
+		m.Mark()
+	}
+	// 11 marks spaced 100ms apart => 10 intervals over 1s => 10/s.
+	if got := m.Rate(); got < 9.99 || got > 10.01 {
+		t.Errorf("Rate() = %f, want 10", got)
+	}
+	if got, want := m.Count(), uint64(11); got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+}
+
+func TestMeterRateSince(t *testing.T) {
+	m := NewMeter()
+	base := time.Unix(1000, 0)
+	m.SetClock(func() time.Time { return base })
+	for i := 0; i < 20; i++ {
+		m.Mark()
+	}
+	if got := m.RateSince(base.Add(2 * time.Second)); got < 9.99 || got > 10.01 {
+		t.Errorf("RateSince(+2s) = %f, want 10", got)
+	}
+}
+
+func TestMeterZeroAndSingle(t *testing.T) {
+	var m Meter
+	if got := m.Rate(); got != 0 {
+		t.Errorf("empty Rate() = %f, want 0", got)
+	}
+	m.Mark()
+	if got := m.Rate(); got != 0 {
+		t.Errorf("single-mark Rate() = %f, want 0", got)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	var m Meter
+	m.MarkN(5)
+	m.Reset()
+	if got := m.Count(); got != 0 {
+		t.Errorf("Count() after Reset = %d, want 0", got)
+	}
+}
+
+func TestRegistryReusesInstruments(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("stage.pose")
+	h2 := r.Histogram("stage.pose")
+	if h1 != h2 {
+		t.Error("Histogram returned distinct instances for the same name")
+	}
+	m1 := r.Meter("fps")
+	m2 := r.Meter("fps")
+	if m1 != m2 {
+		t.Error("Meter returned distinct instances for the same name")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("b")
+	r.Histogram("a")
+	r.Meter("z")
+	r.Meter("y")
+	hn := r.HistogramNames()
+	if len(hn) != 2 || hn[0] != "a" || hn[1] != "b" {
+		t.Errorf("HistogramNames() = %v, want [a b]", hn)
+	}
+	mn := r.MeterNames()
+	if len(mn) != 2 || mn[0] != "y" || mn[1] != "z" {
+		t.Errorf("MeterNames() = %v, want [y z]", mn)
+	}
+}
+
+func TestRegistryTime(t *testing.T) {
+	r := NewRegistry()
+	err := r.Time("op", func() error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Time() error = %v", err)
+	}
+	if got := r.Histogram("op").Count(); got != 1 {
+		t.Errorf("histogram count = %d, want 1", got)
+	}
+	if got := r.Histogram("op").Mean(); got < time.Millisecond {
+		t.Errorf("histogram mean = %v, want >= 1ms", got)
+	}
+}
+
+func TestRegistryReport(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat").Observe(time.Millisecond)
+	r.Meter("fps").MarkN(3)
+	rep := r.Report()
+	if rep == "" {
+		t.Error("Report() returned empty string")
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat").Observe(time.Millisecond)
+	r.Meter("fps").Mark()
+	r.Reset()
+	if got := r.Histogram("lat").Count(); got != 0 {
+		t.Errorf("histogram count after Reset = %d, want 0", got)
+	}
+	if got := r.Meter("fps").Count(); got != 0 {
+		t.Errorf("meter count after Reset = %d, want 0", got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Histogram("h").Observe(time.Duration(i))
+				r.Meter("m").Mark()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := r.Histogram("h").Count(), uint64(1600); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+}

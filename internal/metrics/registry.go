@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of histograms and meters, used to gather
+// per-stage latencies and per-pipeline frame rates for an experiment run.
+// The zero value is ready to use.
+type Registry struct {
+	mu     sync.Mutex
+	hists  map[string]*Histogram
+	meters map[string]*Meter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Meter returns the meter registered under name, creating it on first use.
+func (r *Registry) Meter(name string) *Meter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.meters == nil {
+		r.meters = make(map[string]*Meter)
+	}
+	m, ok := r.meters[name]
+	if !ok {
+		m = &Meter{}
+		r.meters[name] = m
+	}
+	return m
+}
+
+// Time records the duration of fn into the named histogram and returns any
+// error fn produced.
+func (r *Registry) Time(name string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	r.Histogram(name).Observe(time.Since(start))
+	return err
+}
+
+// HistogramNames reports the sorted names of all registered histograms.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MeterNames reports the sorted names of all registered meters.
+func (r *Registry) MeterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.meters))
+	for n := range r.meters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Report renders all registered instruments as an aligned, human-readable
+// table, suitable for experiment output.
+func (r *Registry) Report() string {
+	var b strings.Builder
+	for _, n := range r.HistogramNames() {
+		fmt.Fprintf(&b, "%-32s %s\n", n, r.Histogram(n).Snapshot())
+	}
+	for _, n := range r.MeterNames() {
+		m := r.Meter(n)
+		fmt.Fprintf(&b, "%-32s rate=%.2f/s count=%d\n", n, m.Rate(), m.Count())
+	}
+	return b.String()
+}
+
+// Reset clears every registered instrument but keeps the registrations.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, h := range r.hists {
+		h.Reset()
+	}
+	for _, m := range r.meters {
+		m.Reset()
+	}
+}

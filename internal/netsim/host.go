@@ -1,0 +1,31 @@
+package netsim
+
+import "net"
+
+// Host is a view of the network from one named device. It satisfies the
+// transport interface expected by the wire layer (structural typing keeps
+// netsim free of upward dependencies): Listen binds a port on this host and
+// Dial connects from this host to a "host:port" address.
+type Host struct {
+	net  *Network
+	name string
+}
+
+// Host returns the named device's view of the network.
+func (n *Network) Host(name string) *Host {
+	return &Host{net: n, name: name}
+}
+
+// Name reports the device name this view belongs to.
+func (h *Host) Name() string { return h.name }
+
+// Listen binds a simulated listener on this host. Port 0 allocates an
+// ephemeral port.
+func (h *Host) Listen(port int) (net.Listener, error) {
+	return h.net.Listen(h.name, port)
+}
+
+// Dial connects from this host to the given "host:port" address.
+func (h *Host) Dial(address string) (net.Conn, error) {
+	return h.net.Dial(h.name, address)
+}

@@ -1,0 +1,94 @@
+// Package netsim simulates the home network connecting edge devices.
+//
+// It provides in-memory implementations of net.Conn and net.Listener whose
+// transfers are shaped by per-link profiles: one-way propagation latency,
+// jitter, serialization bandwidth and a loss-induced retransmit penalty.
+// The paper's testbed connects a phone, a desktop and a TV over Wi-Fi; the
+// presets here model that fabric so frame-rate and latency experiments are
+// reproducible on a single machine.
+//
+// The simulator preserves TCP-like semantics: bytes are never reordered or
+// dropped within a connection (loss manifests as added delay, as TCP
+// retransmission would), writes are subject to bandwidth serialization, and
+// closing the write side yields io.EOF at the reader after the in-flight
+// bytes drain.
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LinkProfile describes the characteristics of one network link direction.
+type LinkProfile struct {
+	// Latency is the one-way propagation delay added to every chunk.
+	Latency time.Duration
+	// Jitter is the maximum random additional delay; each chunk gets a
+	// uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// Bandwidth is the serialization rate in bytes per second. Zero means
+	// unlimited (no serialization delay).
+	Bandwidth int64
+	// Loss is the probability, per written chunk, of incurring a
+	// retransmission penalty (one extra RTT of delay). It models TCP-level
+	// recovery rather than actual byte loss.
+	Loss float64
+}
+
+// RTT reports the nominal round-trip time of the link, excluding jitter,
+// bandwidth and loss effects.
+func (p LinkProfile) RTT() time.Duration { return 2 * p.Latency }
+
+// txDelay reports the serialization time for n bytes at the profile's
+// bandwidth.
+func (p LinkProfile) txDelay(n int) time.Duration {
+	if p.Bandwidth <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(p.Bandwidth) * float64(time.Second))
+}
+
+// chunkDelay computes the post-serialization delivery delay for one chunk:
+// propagation latency, plus uniform jitter, plus a possible loss penalty.
+func (p LinkProfile) chunkDelay(rng *rand.Rand) time.Duration {
+	d := p.Latency
+	if p.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(p.Jitter)))
+	}
+	if p.Loss > 0 && rng.Float64() < p.Loss {
+		d += p.RTT()
+	}
+	return d
+}
+
+// Common link presets used by the experiments.
+var (
+	// Loopback models intra-device communication: effectively free.
+	Loopback = LinkProfile{Latency: 20 * time.Microsecond, Bandwidth: 0}
+
+	// WiFi models a home 802.11ac network, as in the paper's testbed:
+	// ~3 ms one-way delay (6 ms RTT, typical for contended home Wi-Fi),
+	// ~200 Mbit/s goodput and a small retransmit probability.
+	WiFi = LinkProfile{
+		Latency:   3 * time.Millisecond,
+		Jitter:    time.Millisecond,
+		Bandwidth: 25_000_000, // 200 Mbit/s in bytes/s
+		Loss:      0.002,
+	}
+
+	// Ethernet models a wired segment between desktop-class devices.
+	Ethernet = LinkProfile{
+		Latency:   200 * time.Microsecond,
+		Jitter:    50 * time.Microsecond,
+		Bandwidth: 125_000_000, // 1 Gbit/s in bytes/s
+	}
+
+	// WAN models an uplink to a nearby cloud region, used by ablations that
+	// contrast edge and cloud placement.
+	WAN = LinkProfile{
+		Latency:   15 * time.Millisecond,
+		Jitter:    3 * time.Millisecond,
+		Bandwidth: 6_250_000, // 50 Mbit/s in bytes/s
+		Loss:      0.005,
+	}
+)

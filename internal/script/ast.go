@@ -1,0 +1,286 @@
+package script
+
+// The AST node hierarchy. Expressions and statements are separate interface
+// families; every node carries its source position for error reporting.
+
+type node interface{ position() Position }
+
+// ---- Expressions ----
+
+type expr interface {
+	node
+	exprNode()
+}
+
+type numberLit struct {
+	pos   Position
+	value float64
+}
+
+type stringLit struct {
+	pos   Position
+	value string
+}
+
+type boolLit struct {
+	pos   Position
+	value bool
+}
+
+type nullLit struct{ pos Position }
+
+type identExpr struct {
+	pos  Position
+	name string
+}
+
+type arrayLit struct {
+	pos   Position
+	elems []expr
+}
+
+type objectField struct {
+	key   string
+	value expr
+}
+
+type objectLit struct {
+	pos    Position
+	fields []objectField
+}
+
+// funcLit covers both function expressions and (via name) declarations.
+type funcLit struct {
+	pos    Position
+	name   string // empty for anonymous
+	params []string
+	body   *blockStmt
+}
+
+type unaryExpr struct {
+	pos Position
+	op  string // "-", "!", "typeof"
+	x   expr
+}
+
+type binaryExpr struct {
+	pos  Position
+	op   string
+	x, y expr
+}
+
+// logicalExpr short-circuits, unlike binaryExpr.
+type logicalExpr struct {
+	pos  Position
+	op   string // "&&", "||"
+	x, y expr
+}
+
+type condExpr struct {
+	pos        Position
+	cond       expr
+	then, elsE expr
+}
+
+type assignExpr struct {
+	pos    Position
+	op     string // "=", "+=", ...
+	target expr   // identExpr, memberExpr or indexExpr
+	value  expr
+}
+
+// updateExpr is ++/-- (prefix or postfix).
+type updateExpr struct {
+	pos     Position
+	op      string // "++", "--"
+	target  expr
+	postfix bool
+}
+
+type callExpr struct {
+	pos    Position
+	callee expr
+	args   []expr
+}
+
+type memberExpr struct {
+	pos  Position
+	obj  expr
+	name string
+}
+
+type indexExpr struct {
+	pos   Position
+	obj   expr
+	index expr
+}
+
+func (e *numberLit) position() Position  { return e.pos }
+func (e *stringLit) position() Position  { return e.pos }
+func (e *boolLit) position() Position    { return e.pos }
+func (e *nullLit) position() Position    { return e.pos }
+func (e *identExpr) position() Position  { return e.pos }
+func (e *arrayLit) position() Position   { return e.pos }
+func (e *objectLit) position() Position  { return e.pos }
+func (e *funcLit) position() Position    { return e.pos }
+func (e *unaryExpr) position() Position  { return e.pos }
+func (e *binaryExpr) position() Position { return e.pos }
+func (e *logicalExpr) position() Position {
+	return e.pos
+}
+func (e *condExpr) position() Position   { return e.pos }
+func (e *assignExpr) position() Position { return e.pos }
+func (e *updateExpr) position() Position { return e.pos }
+func (e *callExpr) position() Position   { return e.pos }
+func (e *memberExpr) position() Position { return e.pos }
+func (e *indexExpr) position() Position  { return e.pos }
+
+func (*numberLit) exprNode()   {}
+func (*stringLit) exprNode()   {}
+func (*boolLit) exprNode()     {}
+func (*nullLit) exprNode()     {}
+func (*identExpr) exprNode()   {}
+func (*arrayLit) exprNode()    {}
+func (*objectLit) exprNode()   {}
+func (*funcLit) exprNode()     {}
+func (*unaryExpr) exprNode()   {}
+func (*binaryExpr) exprNode()  {}
+func (*logicalExpr) exprNode() {}
+func (*condExpr) exprNode()    {}
+func (*assignExpr) exprNode()  {}
+func (*updateExpr) exprNode()  {}
+func (*callExpr) exprNode()    {}
+func (*memberExpr) exprNode()  {}
+func (*indexExpr) exprNode()   {}
+
+// ---- Statements ----
+
+type stmt interface {
+	node
+	stmtNode()
+}
+
+type exprStmt struct {
+	pos Position
+	x   expr
+}
+
+// declStmt declares one variable (var/let/const).
+type declStmt struct {
+	pos      Position
+	kind     string // "var", "let", "const"
+	name     string
+	init     expr // may be nil
+	constant bool
+}
+
+type blockStmt struct {
+	pos   Position
+	stmts []stmt
+}
+
+type ifStmt struct {
+	pos  Position
+	cond expr
+	then stmt
+	elsE stmt // may be nil
+}
+
+type whileStmt struct {
+	pos  Position
+	cond expr
+	body stmt
+}
+
+type forStmt struct {
+	pos  Position
+	init stmt // may be nil (declStmt or exprStmt)
+	cond expr // may be nil
+	post expr // may be nil
+	body stmt
+}
+
+// forOfStmt iterates over array elements or object keys.
+type forOfStmt struct {
+	pos     Position
+	varName string
+	iter    expr
+	body    stmt
+}
+
+type returnStmt struct {
+	pos   Position
+	value expr // may be nil
+}
+
+type breakStmt struct{ pos Position }
+
+type continueStmt struct{ pos Position }
+
+type throwStmt struct {
+	pos   Position
+	value expr
+}
+
+type tryStmt struct {
+	pos      Position
+	body     *blockStmt
+	catchVar string
+	catch    *blockStmt // may be nil
+	finally  *blockStmt // may be nil
+}
+
+// switchStmt is a switch over strict-equality cases.
+type switchStmt struct {
+	pos     Position
+	subject expr
+	cases   []switchCase
+	// defaultBody may be nil.
+	defaultBody []stmt
+}
+
+type switchCase struct {
+	value expr
+	body  []stmt
+}
+
+// funcDecl binds a function literal to a name in the current scope.
+type funcDecl struct {
+	pos Position
+	fn  *funcLit
+}
+
+func (s *exprStmt) position() Position     { return s.pos }
+func (s *declStmt) position() Position     { return s.pos }
+func (s *blockStmt) position() Position    { return s.pos }
+func (s *ifStmt) position() Position       { return s.pos }
+func (s *whileStmt) position() Position    { return s.pos }
+func (s *forStmt) position() Position      { return s.pos }
+func (s *forOfStmt) position() Position    { return s.pos }
+func (s *returnStmt) position() Position   { return s.pos }
+func (s *breakStmt) position() Position    { return s.pos }
+func (s *continueStmt) position() Position { return s.pos }
+func (s *throwStmt) position() Position    { return s.pos }
+func (s *tryStmt) position() Position      { return s.pos }
+func (s *switchStmt) position() Position   { return s.pos }
+func (s *funcDecl) position() Position     { return s.pos }
+
+func (*exprStmt) stmtNode()     {}
+func (*declStmt) stmtNode()     {}
+func (*blockStmt) stmtNode()    {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*forOfStmt) stmtNode()    {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*throwStmt) stmtNode()    {}
+func (*tryStmt) stmtNode()      {}
+func (*switchStmt) stmtNode()   {}
+func (*funcDecl) stmtNode()     {}
+
+// program is a parsed compilation unit.
+type program struct {
+	stmts []stmt
+}

@@ -1,0 +1,49 @@
+package script
+
+import "fmt"
+
+// RuntimeError is a script execution failure (including uncaught script
+// throws) with the source position where it occurred.
+type RuntimeError struct {
+	Pos Position
+	Msg string
+	// Thrown holds the script value for errors raised by throw statements;
+	// nil for interpreter-generated errors.
+	Thrown Value
+}
+
+// Error satisfies the error interface.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("script: runtime error at %s: %s", e.Pos, e.Msg)
+}
+
+// binding is one variable slot.
+type binding struct {
+	value    Value
+	constant bool
+}
+
+// environment is a lexical scope chain node.
+type environment struct {
+	vars   map[string]*binding
+	parent *environment
+}
+
+func newEnvironment(parent *environment) *environment {
+	return &environment{vars: make(map[string]*binding), parent: parent}
+}
+
+// define creates a new binding in this scope, shadowing outer scopes.
+func (e *environment) define(name string, v Value, constant bool) {
+	e.vars[name] = &binding{value: v, constant: constant}
+}
+
+// lookup finds the binding for name, walking the scope chain.
+func (e *environment) lookup(name string) (*binding, bool) {
+	for s := e; s != nil; s = s.parent {
+		if b, ok := s.vars[name]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}

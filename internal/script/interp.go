@@ -1,0 +1,845 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Default sandbox limits. A module that exceeds them fails its current event
+// rather than wedging the hosting device.
+const (
+	// DefaultMaxSteps bounds evaluation steps per top-level invocation.
+	DefaultMaxSteps = 10_000_000
+	// DefaultMaxDepth bounds the script call stack.
+	DefaultMaxDepth = 200
+	// maxArrayLen bounds array growth from index assignment.
+	maxArrayLen = 1 << 24
+)
+
+// control-flow signals, passed through the error channel internally.
+type breakSignal struct{}
+type continueSignal struct{}
+
+func (breakSignal) Error() string    { return "break outside loop" }
+func (continueSignal) Error() string { return "continue outside loop" }
+
+type returnSignal struct{ value Value }
+
+func (returnSignal) Error() string { return "return outside function" }
+
+// throwSignal carries a script-thrown value until caught.
+type throwSignal struct {
+	value Value
+	pos   Position
+}
+
+func (t throwSignal) Error() string {
+	return fmt.Sprintf("uncaught: %s", Stringify(t.value))
+}
+
+// Context is one isolated PipeScript execution environment — the analogue
+// of a Duktape context in the paper. A Context owns its globals and host
+// bindings; nothing is shared between contexts, which is what isolates
+// modules from one another. A Context is not safe for concurrent use; the
+// device runtime serializes events per module, matching the paper's
+// event-driven module model.
+type Context struct {
+	globals  *environment
+	maxSteps int64
+	maxDepth int
+}
+
+// NewContext creates a context with the standard library installed.
+func NewContext() *Context {
+	c := &Context{
+		globals:  newEnvironment(nil),
+		maxSteps: DefaultMaxSteps,
+		maxDepth: DefaultMaxDepth,
+	}
+	installStdlib(c)
+	return c
+}
+
+// SetMaxSteps overrides the per-invocation evaluation step budget.
+func (c *Context) SetMaxSteps(n int64) { c.maxSteps = n }
+
+// SetMaxDepth overrides the script call-stack limit.
+func (c *Context) SetMaxDepth(n int) { c.maxDepth = n }
+
+// Bind exposes a Go function to scripts under the given global name.
+func (c *Context) Bind(name string, fn HostFunc) {
+	c.globals.define(name, fn, false)
+}
+
+// BindValue exposes a value to scripts under the given global name.
+func (c *Context) BindValue(name string, v Value) {
+	c.globals.define(name, v, false)
+}
+
+// Global returns the value of a global binding.
+func (c *Context) Global(name string) (Value, bool) {
+	b, ok := c.globals.lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return b.value, true
+}
+
+// Has reports whether a global binding exists. It is how the module runtime
+// probes for optional callbacks such as init().
+func (c *Context) Has(name string) bool {
+	_, ok := c.globals.lookup(name)
+	return ok
+}
+
+// Load parses and executes src at the top level: declarations become
+// globals, top-level statements run immediately.
+func (c *Context) Load(src string) error {
+	prog, err := parse(src)
+	if err != nil {
+		return err
+	}
+	in := &interp{ctx: c}
+	for _, s := range prog.stmts {
+		if err := in.execStmt(s, c.globals); err != nil {
+			return in.publicError(err)
+		}
+	}
+	return nil
+}
+
+// Eval parses and evaluates src as a single expression and returns its
+// value.
+func (c *Context) Eval(src string) (Value, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	in := &interp{ctx: c}
+	var last Value
+	for _, s := range prog.stmts {
+		es, ok := s.(*exprStmt)
+		if !ok {
+			if err := in.execStmt(s, c.globals); err != nil {
+				return nil, in.publicError(err)
+			}
+			last = nil
+			continue
+		}
+		v, err := in.evalExpr(es.x, c.globals)
+		if err != nil {
+			return nil, in.publicError(err)
+		}
+		last = v
+	}
+	return last, nil
+}
+
+// Call invokes the named global function with args.
+func (c *Context) Call(name string, args ...Value) (Value, error) {
+	b, ok := c.globals.lookup(name)
+	if !ok {
+		return nil, &RuntimeError{Msg: fmt.Sprintf("function %q is not defined", name)}
+	}
+	in := &interp{ctx: c}
+	v, err := in.callValue(b.value, args, Position{})
+	if err != nil {
+		return nil, in.publicError(err)
+	}
+	return v, nil
+}
+
+// interp carries per-invocation execution state: the step budget and call
+// depth.
+type interp struct {
+	ctx   *Context
+	steps int64
+	depth int
+}
+
+// publicError converts internal control-flow signals into user-facing
+// errors.
+func (in *interp) publicError(err error) error {
+	var t throwSignal
+	if errors.As(err, &t) {
+		return &RuntimeError{Pos: t.pos, Msg: "uncaught exception: " + Stringify(t.value), Thrown: t.value}
+	}
+	switch err.(type) {
+	case breakSignal, continueSignal, returnSignal:
+		return &RuntimeError{Msg: err.Error()}
+	}
+	return err
+}
+
+func (in *interp) step(pos Position) error {
+	in.steps++
+	if in.steps > in.ctx.maxSteps {
+		return &RuntimeError{Pos: pos, Msg: "step budget exhausted (possible infinite loop)"}
+	}
+	return nil
+}
+
+func (in *interp) errorf(pos Position, format string, args ...any) error {
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---- Statements ----
+
+func (in *interp) execStmt(s stmt, env *environment) error {
+	if err := in.step(s.position()); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *exprStmt:
+		_, err := in.evalExpr(st.x, env)
+		return err
+	case *declStmt:
+		var v Value
+		if st.init != nil {
+			var err error
+			if v, err = in.evalExpr(st.init, env); err != nil {
+				return err
+			}
+		}
+		env.define(st.name, v, st.constant)
+		return nil
+	case *blockStmt:
+		inner := newEnvironment(env)
+		for _, s := range st.stmts {
+			if err := in.execStmt(s, inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ifStmt:
+		cond, err := in.evalExpr(st.cond, env)
+		if err != nil {
+			return err
+		}
+		if Truthy(cond) {
+			return in.execStmt(st.then, env)
+		}
+		if st.elsE != nil {
+			return in.execStmt(st.elsE, env)
+		}
+		return nil
+	case *whileStmt:
+		for {
+			if err := in.step(st.pos); err != nil {
+				return err
+			}
+			cond, err := in.evalExpr(st.cond, env)
+			if err != nil {
+				return err
+			}
+			if !Truthy(cond) {
+				return nil
+			}
+			if err := in.execStmt(st.body, env); err != nil {
+				switch err.(type) {
+				case breakSignal:
+					return nil
+				case continueSignal:
+					continue
+				default:
+					return err
+				}
+			}
+		}
+	case *forStmt:
+		inner := newEnvironment(env)
+		if st.init != nil {
+			if err := in.execStmt(st.init, inner); err != nil {
+				return err
+			}
+		}
+		for {
+			if err := in.step(st.pos); err != nil {
+				return err
+			}
+			if st.cond != nil {
+				cond, err := in.evalExpr(st.cond, inner)
+				if err != nil {
+					return err
+				}
+				if !Truthy(cond) {
+					return nil
+				}
+			}
+			err := in.execStmt(st.body, inner)
+			if err != nil {
+				switch err.(type) {
+				case breakSignal:
+					return nil
+				case continueSignal:
+					// fall through to post
+				default:
+					return err
+				}
+			}
+			if st.post != nil {
+				if _, err := in.evalExpr(st.post, inner); err != nil {
+					return err
+				}
+			}
+		}
+	case *forOfStmt:
+		iter, err := in.evalExpr(st.iter, env)
+		if err != nil {
+			return err
+		}
+		runBody := func(v Value) error {
+			inner := newEnvironment(env)
+			inner.define(st.varName, v, false)
+			return in.execStmt(st.body, inner)
+		}
+		var items []Value
+		switch x := iter.(type) {
+		case *Array:
+			items = x.Elems
+		case *Object:
+			for _, k := range x.SortedKeys() {
+				items = append(items, k)
+			}
+		case string:
+			for _, r := range x {
+				items = append(items, string(r))
+			}
+		case nil:
+			return nil
+		default:
+			return in.errorf(st.pos, "for-of requires array, object or string, got %s", TypeName(iter))
+		}
+		for _, v := range items {
+			if err := in.step(st.pos); err != nil {
+				return err
+			}
+			if err := runBody(v); err != nil {
+				switch err.(type) {
+				case breakSignal:
+					return nil
+				case continueSignal:
+					continue
+				default:
+					return err
+				}
+			}
+		}
+		return nil
+	case *returnStmt:
+		var v Value
+		if st.value != nil {
+			var err error
+			if v, err = in.evalExpr(st.value, env); err != nil {
+				return err
+			}
+		}
+		return returnSignal{value: v}
+	case *breakStmt:
+		return breakSignal{}
+	case *continueStmt:
+		return continueSignal{}
+	case *throwStmt:
+		v, err := in.evalExpr(st.value, env)
+		if err != nil {
+			return err
+		}
+		return throwSignal{value: v, pos: st.pos}
+	case *tryStmt:
+		err := in.execStmt(st.body, env)
+		var thrown throwSignal
+		if errors.As(err, &thrown) && st.catch != nil {
+			inner := newEnvironment(env)
+			if st.catchVar != "" {
+				inner.define(st.catchVar, thrown.value, false)
+			}
+			err = nil
+			for _, s := range st.catch.stmts {
+				if err = in.execStmt(s, inner); err != nil {
+					break
+				}
+			}
+		}
+		if st.finally != nil {
+			if ferr := in.execStmt(st.finally, env); ferr != nil {
+				return ferr // finally's completion overrides
+			}
+		}
+		return err
+	case *switchStmt:
+		subject, err := in.evalExpr(st.subject, env)
+		if err != nil {
+			return err
+		}
+		// Find the matching case (strict equality), falling back to
+		// default; execution falls through subsequent cases until break,
+		// as in JavaScript.
+		start := -1
+		for i, c := range st.cases {
+			v, err := in.evalExpr(c.value, env)
+			if err != nil {
+				return err
+			}
+			if valuesEqual(subject, v) {
+				start = i
+				break
+			}
+		}
+		inner := newEnvironment(env)
+		runBody := func(body []stmt) (stop bool, err error) {
+			for _, s := range body {
+				if err := in.execStmt(s, inner); err != nil {
+					if _, isBreak := err.(breakSignal); isBreak {
+						return true, nil
+					}
+					return true, err
+				}
+			}
+			return false, nil
+		}
+		if start >= 0 {
+			for i := start; i < len(st.cases); i++ {
+				stop, err := runBody(st.cases[i].body)
+				if err != nil {
+					return err
+				}
+				if stop {
+					return nil
+				}
+			}
+		}
+		if st.defaultBody != nil && start < 0 {
+			if _, err := runBody(st.defaultBody); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *funcDecl:
+		fn := &Function{name: st.fn.name, params: st.fn.params, body: st.fn.body, env: env}
+		env.define(st.fn.name, fn, false)
+		return nil
+	default:
+		return in.errorf(s.position(), "unhandled statement %T", s)
+	}
+}
+
+// ---- Expressions ----
+
+func (in *interp) evalExpr(e expr, env *environment) (Value, error) {
+	if err := in.step(e.position()); err != nil {
+		return nil, err
+	}
+	switch ex := e.(type) {
+	case *numberLit:
+		return ex.value, nil
+	case *stringLit:
+		return ex.value, nil
+	case *boolLit:
+		return ex.value, nil
+	case *nullLit:
+		return nil, nil
+	case *identExpr:
+		b, ok := env.lookup(ex.name)
+		if !ok {
+			return nil, in.errorf(ex.pos, "%q is not defined", ex.name)
+		}
+		return b.value, nil
+	case *arrayLit:
+		arr := &Array{Elems: make([]Value, len(ex.elems))}
+		for i, el := range ex.elems {
+			v, err := in.evalExpr(el, env)
+			if err != nil {
+				return nil, err
+			}
+			arr.Elems[i] = v
+		}
+		return arr, nil
+	case *objectLit:
+		obj := NewObject()
+		for _, f := range ex.fields {
+			v, err := in.evalExpr(f.value, env)
+			if err != nil {
+				return nil, err
+			}
+			obj.Set(f.key, v)
+		}
+		return obj, nil
+	case *funcLit:
+		return &Function{name: ex.name, params: ex.params, body: ex.body, env: env}, nil
+	case *unaryExpr:
+		return in.evalUnary(ex, env)
+	case *binaryExpr:
+		return in.evalBinary(ex, env)
+	case *logicalExpr:
+		x, err := in.evalExpr(ex.x, env)
+		if err != nil {
+			return nil, err
+		}
+		if ex.op == "&&" {
+			if !Truthy(x) {
+				return x, nil
+			}
+		} else if Truthy(x) {
+			return x, nil
+		}
+		return in.evalExpr(ex.y, env)
+	case *condExpr:
+		cond, err := in.evalExpr(ex.cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(cond) {
+			return in.evalExpr(ex.then, env)
+		}
+		return in.evalExpr(ex.elsE, env)
+	case *assignExpr:
+		return in.evalAssign(ex, env)
+	case *updateExpr:
+		return in.evalUpdate(ex, env)
+	case *callExpr:
+		callee, err := in.evalExpr(ex.callee, env)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Value, len(ex.args))
+		for i, a := range ex.args {
+			if args[i], err = in.evalExpr(a, env); err != nil {
+				return nil, err
+			}
+		}
+		return in.callValue(callee, args, ex.pos)
+	case *memberExpr:
+		obj, err := in.evalExpr(ex.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.member(obj, ex.name, ex.pos)
+	case *indexExpr:
+		obj, err := in.evalExpr(ex.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.evalExpr(ex.index, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.index(obj, idx, ex.pos)
+	default:
+		return nil, in.errorf(e.position(), "unhandled expression %T", e)
+	}
+}
+
+func (in *interp) evalUnary(ex *unaryExpr, env *environment) (Value, error) {
+	x, err := in.evalExpr(ex.x, env)
+	if err != nil {
+		return nil, err
+	}
+	switch ex.op {
+	case "-":
+		n, ok := x.(float64)
+		if !ok {
+			return nil, in.errorf(ex.pos, "cannot negate %s", TypeName(x))
+		}
+		return -n, nil
+	case "!":
+		return !Truthy(x), nil
+	case "typeof":
+		return TypeName(x), nil
+	default:
+		return nil, in.errorf(ex.pos, "unknown unary operator %q", ex.op)
+	}
+}
+
+func (in *interp) evalBinary(ex *binaryExpr, env *environment) (Value, error) {
+	x, err := in.evalExpr(ex.x, env)
+	if err != nil {
+		return nil, err
+	}
+	y, err := in.evalExpr(ex.y, env)
+	if err != nil {
+		return nil, err
+	}
+	return in.applyBinary(ex.op, x, y, ex.pos)
+}
+
+func (in *interp) applyBinary(op string, x, y Value, pos Position) (Value, error) {
+	switch op {
+	case "==":
+		return valuesEqual(x, y), nil
+	case "!=":
+		return !valuesEqual(x, y), nil
+	}
+
+	// String concatenation mirrors JS: + with a string operand concatenates.
+	if op == "+" {
+		if xs, ok := x.(string); ok {
+			return xs + Stringify(y), nil
+		}
+		if ys, ok := y.(string); ok {
+			return Stringify(x) + ys, nil
+		}
+	}
+
+	// String ordering comparisons.
+	if xs, okx := x.(string); okx {
+		if ys, oky := y.(string); oky {
+			switch op {
+			case "<":
+				return xs < ys, nil
+			case "<=":
+				return xs <= ys, nil
+			case ">":
+				return xs > ys, nil
+			case ">=":
+				return xs >= ys, nil
+			}
+		}
+	}
+
+	xn, okx := x.(float64)
+	yn, oky := y.(float64)
+	if !okx || !oky {
+		return nil, in.errorf(pos, "operator %q requires numbers, got %s and %s", op, TypeName(x), TypeName(y))
+	}
+	switch op {
+	case "+":
+		return xn + yn, nil
+	case "-":
+		return xn - yn, nil
+	case "*":
+		return xn * yn, nil
+	case "/":
+		if yn == 0 {
+			return nil, in.errorf(pos, "division by zero")
+		}
+		return xn / yn, nil
+	case "%":
+		if yn == 0 {
+			return nil, in.errorf(pos, "modulo by zero")
+		}
+		return math.Mod(xn, yn), nil
+	case "<":
+		return xn < yn, nil
+	case "<=":
+		return xn <= yn, nil
+	case ">":
+		return xn > yn, nil
+	case ">=":
+		return xn >= yn, nil
+	default:
+		return nil, in.errorf(pos, "unknown operator %q", op)
+	}
+}
+
+func (in *interp) evalAssign(ex *assignExpr, env *environment) (Value, error) {
+	rhs, err := in.evalExpr(ex.value, env)
+	if err != nil {
+		return nil, err
+	}
+	if ex.op != "=" {
+		cur, err := in.readTarget(ex.target, env)
+		if err != nil {
+			return nil, err
+		}
+		op := strings.TrimSuffix(ex.op, "=")
+		if rhs, err = in.applyBinary(op, cur, rhs, ex.pos); err != nil {
+			return nil, err
+		}
+	}
+	if err := in.writeTarget(ex.target, rhs, env); err != nil {
+		return nil, err
+	}
+	return rhs, nil
+}
+
+func (in *interp) evalUpdate(ex *updateExpr, env *environment) (Value, error) {
+	cur, err := in.readTarget(ex.target, env)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := cur.(float64)
+	if !ok {
+		return nil, in.errorf(ex.pos, "%s requires a number, got %s", ex.op, TypeName(cur))
+	}
+	next := n + 1
+	if ex.op == "--" {
+		next = n - 1
+	}
+	if err := in.writeTarget(ex.target, next, env); err != nil {
+		return nil, err
+	}
+	if ex.postfix {
+		return n, nil
+	}
+	return next, nil
+}
+
+func (in *interp) readTarget(target expr, env *environment) (Value, error) {
+	return in.evalExpr(target, env)
+}
+
+func (in *interp) writeTarget(target expr, v Value, env *environment) error {
+	switch t := target.(type) {
+	case *identExpr:
+		b, ok := env.lookup(t.name)
+		if !ok {
+			return in.errorf(t.pos, "%q is not defined", t.name)
+		}
+		if b.constant {
+			return in.errorf(t.pos, "cannot assign to constant %q", t.name)
+		}
+		b.value = v
+		return nil
+	case *memberExpr:
+		obj, err := in.evalExpr(t.obj, env)
+		if err != nil {
+			return err
+		}
+		o, ok := obj.(*Object)
+		if !ok {
+			return in.errorf(t.pos, "cannot set field %q on %s", t.name, TypeName(obj))
+		}
+		o.Set(t.name, v)
+		return nil
+	case *indexExpr:
+		obj, err := in.evalExpr(t.obj, env)
+		if err != nil {
+			return err
+		}
+		idx, err := in.evalExpr(t.index, env)
+		if err != nil {
+			return err
+		}
+		switch o := obj.(type) {
+		case *Array:
+			n, ok := idx.(float64)
+			if !ok || n != math.Trunc(n) || n < 0 {
+				return in.errorf(t.pos, "bad array index %s", Stringify(idx))
+			}
+			i := int(n)
+			if i >= maxArrayLen {
+				return in.errorf(t.pos, "array index %d exceeds limit", i)
+			}
+			for len(o.Elems) <= i {
+				o.Elems = append(o.Elems, nil)
+			}
+			o.Elems[i] = v
+			return nil
+		case *Object:
+			key, ok := idx.(string)
+			if !ok {
+				key = Stringify(idx)
+			}
+			o.Set(key, v)
+			return nil
+		default:
+			return in.errorf(t.pos, "cannot index-assign into %s", TypeName(obj))
+		}
+	default:
+		return in.errorf(target.position(), "invalid assignment target")
+	}
+}
+
+func (in *interp) member(obj Value, name string, pos Position) (Value, error) {
+	switch o := obj.(type) {
+	case *Object:
+		return o.Get(name), nil
+	case *Array:
+		if name == "length" {
+			return float64(len(o.Elems)), nil
+		}
+		return nil, in.errorf(pos, "array has no member %q (use builtins: push, pop, slice, ...)", name)
+	case string:
+		if name == "length" {
+			return float64(len(o)), nil
+		}
+		return nil, in.errorf(pos, "string has no member %q", name)
+	case nil:
+		return nil, in.errorf(pos, "cannot read %q of null", name)
+	default:
+		return nil, in.errorf(pos, "cannot read member %q of %s", name, TypeName(obj))
+	}
+}
+
+func (in *interp) index(obj, idx Value, pos Position) (Value, error) {
+	switch o := obj.(type) {
+	case *Array:
+		n, ok := idx.(float64)
+		if !ok || n != math.Trunc(n) {
+			return nil, in.errorf(pos, "bad array index %s", Stringify(idx))
+		}
+		i := int(n)
+		if i < 0 || i >= len(o.Elems) {
+			return nil, nil // out-of-range reads yield null, like JS undefined
+		}
+		return o.Elems[i], nil
+	case *Object:
+		key, ok := idx.(string)
+		if !ok {
+			key = Stringify(idx)
+		}
+		return o.Get(key), nil
+	case string:
+		n, ok := idx.(float64)
+		if !ok || n != math.Trunc(n) {
+			return nil, in.errorf(pos, "bad string index %s", Stringify(idx))
+		}
+		i := int(n)
+		if i < 0 || i >= len(o) {
+			return nil, nil
+		}
+		return string(o[i]), nil
+	case nil:
+		return nil, in.errorf(pos, "cannot index null")
+	default:
+		return nil, in.errorf(pos, "cannot index %s", TypeName(obj))
+	}
+}
+
+// callValue invokes a script function or host function.
+func (in *interp) callValue(callee Value, args []Value, pos Position) (Value, error) {
+	switch fn := callee.(type) {
+	case HostFunc:
+		v, err := fn(args)
+		if err != nil {
+			// Host errors surface as catchable script throws carrying the
+			// error text, so modules can recover from failed service calls.
+			var rt *RuntimeError
+			if errors.As(err, &rt) {
+				return nil, err
+			}
+			return nil, throwSignal{value: err.Error(), pos: pos}
+		}
+		return v, nil
+	case *Function:
+		in.depth++
+		defer func() { in.depth-- }()
+		if in.depth > in.ctx.maxDepth {
+			return nil, in.errorf(pos, "call stack depth limit exceeded")
+		}
+		env := newEnvironment(fn.env)
+		for i, p := range fn.params {
+			var v Value
+			if i < len(args) {
+				v = args[i]
+			}
+			env.define(p, v, false)
+		}
+		env.define("arguments", &Array{Elems: args}, false)
+		for _, s := range fn.body.stmts {
+			if err := in.execStmt(s, env); err != nil {
+				if ret, ok := err.(returnSignal); ok {
+					return ret.value, nil
+				}
+				return nil, err
+			}
+		}
+		return nil, nil
+	case nil:
+		return nil, in.errorf(pos, "cannot call null")
+	default:
+		return nil, in.errorf(pos, "%s is not callable", TypeName(callee))
+	}
+}

@@ -1,0 +1,281 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SyntaxError reports a lexical or parse failure with its source position.
+type SyntaxError struct {
+	Pos Position
+	Msg string
+}
+
+// Error satisfies the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("script: syntax error at %s: %s", e.Pos, e.Msg)
+}
+
+// lexer scans PipeScript source into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(pos Position, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.off >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.off:])
+}
+
+func (l *lexer) advance() rune {
+	r, w := l.peekRune()
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) pos() Position { return Position{Line: l.line, Col: l.col} }
+
+// skipSpaceAndComments consumes whitespace, // line comments and /* block
+// comments.
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		r, _ := l.peekRune()
+		switch {
+		case r == 0:
+			return nil
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "//"):
+			for {
+				r, _ := l.peekRune()
+				if r == 0 || r == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "/*"):
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for !closed {
+				r, _ := l.peekRune()
+				if r == 0 {
+					return l.errorf(start, "unterminated block comment")
+				}
+				if r == '*' && strings.HasPrefix(l.src[l.off:], "*/") {
+					l.advance()
+					l.advance()
+					closed = true
+					continue
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// punctuators, longest first so multi-rune operators win.
+var punctuators = []string{
+	"===", "!==", "&&", "||", "==", "!=", "<=", ">=",
+	"+=", "-=", "*=", "/=", "%=", "++", "--",
+	"(", ")", "{", "}", "[", "]", ",", ";", ":", ".", "?",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!",
+}
+
+// next scans and returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := l.pos()
+	r, _ := l.peekRune()
+	if r == 0 {
+		return token{kind: tokenEOF, pos: pos}, nil
+	}
+
+	switch {
+	case unicode.IsDigit(r):
+		return l.scanNumber(pos)
+	case r == '"' || r == '\'':
+		return l.scanString(pos)
+	case r == '_' || r == '$' || unicode.IsLetter(r):
+		return l.scanIdent(pos)
+	}
+
+	rest := l.src[l.off:]
+	for _, p := range punctuators {
+		if strings.HasPrefix(rest, p) {
+			for range p {
+				l.advance()
+			}
+			return token{kind: tokenPunct, text: p, pos: pos}, nil
+		}
+	}
+	return token{}, l.errorf(pos, "unexpected character %q", r)
+}
+
+func (l *lexer) scanNumber(pos Position) (token, error) {
+	start := l.off
+	if strings.HasPrefix(l.src[l.off:], "0x") || strings.HasPrefix(l.src[l.off:], "0X") {
+		l.advance()
+		l.advance()
+		for {
+			r, _ := l.peekRune()
+			if !isHexDigit(r) {
+				break
+			}
+			l.advance()
+		}
+		v, err := strconv.ParseUint(l.src[start+2:l.off], 16, 64)
+		if err != nil {
+			return token{}, l.errorf(pos, "bad hex literal %q", l.src[start:l.off])
+		}
+		return token{kind: tokenNumber, text: l.src[start:l.off], num: float64(v), pos: pos}, nil
+	}
+
+	seenDot, seenExp := false, false
+	for {
+		r, _ := l.peekRune()
+		switch {
+		case unicode.IsDigit(r):
+			l.advance()
+		case r == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.advance()
+		case (r == 'e' || r == 'E') && !seenExp:
+			seenExp = true
+			l.advance()
+			if nr, _ := l.peekRune(); nr == '+' || nr == '-' {
+				l.advance()
+			}
+		default:
+			text := l.src[start:l.off]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return token{}, l.errorf(pos, "bad number literal %q", text)
+			}
+			return token{kind: tokenNumber, text: text, num: v, pos: pos}, nil
+		}
+	}
+}
+
+func isHexDigit(r rune) bool {
+	return unicode.IsDigit(r) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}
+
+func (l *lexer) scanString(pos Position) (token, error) {
+	quote := l.advance()
+	var b strings.Builder
+	for {
+		r, _ := l.peekRune()
+		switch r {
+		case 0, '\n':
+			return token{}, l.errorf(pos, "unterminated string literal")
+		case quote:
+			l.advance()
+			return token{kind: tokenString, text: b.String(), pos: pos}, nil
+		case '\\':
+			l.advance()
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			case '0':
+				b.WriteByte(0)
+			case 'u':
+				var code int
+				for i := 0; i < 4; i++ {
+					h := l.advance()
+					if !isHexDigit(h) {
+						return token{}, l.errorf(pos, "bad \\u escape")
+					}
+					code = code*16 + hexVal(h)
+				}
+				b.WriteRune(rune(code))
+			default:
+				return token{}, l.errorf(pos, "unknown escape \\%c", esc)
+			}
+		default:
+			b.WriteRune(l.advance())
+		}
+	}
+}
+
+func hexVal(r rune) int {
+	switch {
+	case r >= '0' && r <= '9':
+		return int(r - '0')
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10
+	default:
+		return int(r-'A') + 10
+	}
+}
+
+func (l *lexer) scanIdent(pos Position) (token, error) {
+	start := l.off
+	for {
+		r, _ := l.peekRune()
+		if r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.off]
+	kind := tokenIdent
+	if keywords[text] {
+		kind = tokenKeyword
+	}
+	return token{kind: kind, text: text, pos: pos}, nil
+}
+
+// lexAll scans the entire source, for the parser.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokenEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package services
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// AutoScaler grows and shrinks a pool based on observed saturation — the
+// paper's stated future work ("scale up services automatically based on
+// workload", §7), included here as an extension. The saturation signal is
+// sustained queueing: more requests in flight than the pool has worker
+// capacity.
+type AutoScaler struct {
+	pool *Pool
+	// Min and Max bound the instance count.
+	Min, Max int
+	// Interval is the control loop period.
+	Interval time.Duration
+	// UpAfter is how many consecutive saturated checks trigger a scale-up.
+	UpAfter int
+	// DownAfter is how many consecutive idle checks trigger a scale-down.
+	DownAfter int
+
+	upStreak   int
+	downStreak int
+	decisions  []string
+}
+
+// NewAutoScaler creates a scaler with the given bounds.
+func NewAutoScaler(pool *Pool, minN, maxN int, interval time.Duration) (*AutoScaler, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("services: autoscaler needs a pool")
+	}
+	if minN < 1 || maxN < minN {
+		return nil, fmt.Errorf("services: bad autoscaler bounds [%d, %d]", minN, maxN)
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	return &AutoScaler{
+		pool: pool, Min: minN, Max: maxN, Interval: interval,
+		UpAfter: 3, DownAfter: 20,
+	}, nil
+}
+
+// Decisions reports the scaling actions taken, for experiment logs.
+func (a *AutoScaler) Decisions() []string {
+	return append([]string(nil), a.decisions...)
+}
+
+// Run executes the control loop until ctx is done.
+func (a *AutoScaler) Run(ctx context.Context) {
+	ticker := time.NewTicker(a.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			a.Step(ctx)
+		}
+	}
+}
+
+// Step evaluates the saturation signal once and scales if warranted. It is
+// exported so tests and experiments can drive the loop deterministically.
+func (a *AutoScaler) Step(ctx context.Context) {
+	size := a.pool.Size()
+	capacity := size * maxI(a.pool.spec.Workers, 1)
+	inFlight := a.pool.InFlight()
+
+	switch {
+	case inFlight > capacity:
+		a.upStreak++
+		a.downStreak = 0
+	case inFlight == 0:
+		a.downStreak++
+		a.upStreak = 0
+	default:
+		a.upStreak = 0
+		a.downStreak = 0
+	}
+
+	if a.upStreak >= a.UpAfter && size < a.Max {
+		if err := a.pool.Scale(ctx, size+1); err == nil {
+			a.decisions = append(a.decisions, fmt.Sprintf("up:%d->%d", size, size+1))
+		}
+		a.upStreak = 0
+	}
+	if a.downStreak >= a.DownAfter && size > a.Min {
+		if err := a.pool.Scale(ctx, size-1); err == nil {
+			a.decisions = append(a.decisions, fmt.Sprintf("down:%d->%d", size, size-1))
+		}
+		a.downStreak = 0
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

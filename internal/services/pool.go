@@ -1,0 +1,252 @@
+package services
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"videopipe/internal/metrics"
+)
+
+// Instance models one running container of a service: bounded worker
+// concurrency and a simulated compute cost with a partially serialized
+// section.
+type Instance struct {
+	spec      Spec
+	cpuFactor float64
+	workers   chan struct{}
+	serialMu  sync.Mutex
+	inFlight  atomic.Int64
+	calls     atomic.Uint64
+}
+
+// NewInstance starts an instance on hardware with the given CPU speed
+// factor (1.0 = the paper's desktop; smaller is slower, so cost scales by
+// 1/cpuFactor).
+func NewInstance(spec Spec, cpuFactor float64) (*Instance, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if cpuFactor <= 0 {
+		return nil, fmt.Errorf("services: instance of %q: cpu factor %v must be positive", spec.Name, cpuFactor)
+	}
+	w := spec.Workers
+	if w <= 0 {
+		w = 1
+	}
+	return &Instance{
+		spec:      spec,
+		cpuFactor: cpuFactor,
+		workers:   make(chan struct{}, w),
+	}, nil
+}
+
+// Spec reports the instance's service spec.
+func (i *Instance) Spec() Spec { return i.spec }
+
+// InFlight reports requests currently executing or queued on this instance.
+func (i *Instance) InFlight() int { return int(i.inFlight.Load()) }
+
+// Calls reports the total requests served.
+func (i *Instance) Calls() uint64 { return i.calls.Load() }
+
+// Invoke executes one request: waits for a worker slot, runs the handler,
+// then pads execution up to the simulated inference cost (with the serial
+// fraction under the instance lock, where sharing pipelines contend).
+func (i *Instance) Invoke(ctx context.Context, req Request) (Response, error) {
+	i.inFlight.Add(1)
+	defer i.inFlight.Add(-1)
+
+	select {
+	case i.workers <- struct{}{}:
+		defer func() { <-i.workers }()
+	case <-ctx.Done():
+		return Response{}, fmt.Errorf("services: %s: %w", i.spec.Name, ctx.Err())
+	}
+
+	start := time.Now()
+	resp, err := i.spec.Handler(ctx, req)
+	if err != nil {
+		return Response{}, fmt.Errorf("services: %s: %w", i.spec.Name, err)
+	}
+	i.calls.Add(1)
+
+	cost := time.Duration(float64(i.spec.Cost) / i.cpuFactor)
+	if remaining := cost - time.Since(start); remaining > 0 {
+		serial := time.Duration(float64(remaining) * i.spec.SerialFraction)
+		parallel := remaining - serial
+		if parallel > 0 {
+			if !sleepCtx(ctx, parallel) {
+				return Response{}, fmt.Errorf("services: %s: %w", i.spec.Name, ctx.Err())
+			}
+		}
+		if serial > 0 {
+			i.serialMu.Lock()
+			ok := sleepCtx(ctx, serial)
+			i.serialMu.Unlock()
+			if !ok {
+				return Response{}, fmt.Errorf("services: %s: %w", i.spec.Name, ctx.Err())
+			}
+		}
+	}
+	return resp, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Pool is the scalable set of instances backing one service on one device —
+// the unit that is shared across pipelines (paper §5.2.2) and scaled out
+// when saturated.
+type Pool struct {
+	spec      Spec
+	cpuFactor float64
+	// StartupDelay models container spin-up time for newly scaled
+	// instances.
+	startupDelay time.Duration
+
+	mu        sync.Mutex
+	instances []*Instance
+	next      int
+
+	wait *metrics.Histogram
+}
+
+// NewPool creates a pool with n initial instances.
+func NewPool(spec Spec, n int, cpuFactor float64) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("services: pool of %q needs at least one instance", spec.Name)
+	}
+	p := &Pool{spec: spec, cpuFactor: cpuFactor, wait: &metrics.Histogram{}}
+	for k := 0; k < n; k++ {
+		inst, err := NewInstance(spec, cpuFactor)
+		if err != nil {
+			return nil, err
+		}
+		p.instances = append(p.instances, inst)
+	}
+	return p, nil
+}
+
+// SetStartupDelay configures simulated container spin-up for future Scale
+// calls.
+func (p *Pool) SetStartupDelay(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.startupDelay = d
+}
+
+// Name reports the pooled service name.
+func (p *Pool) Name() string { return p.spec.Name }
+
+// Size reports the current instance count.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.instances)
+}
+
+// InFlight reports requests executing or queued across all instances.
+func (p *Pool) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, i := range p.instances {
+		total += i.InFlight()
+	}
+	return total
+}
+
+// Calls reports total requests served across all instances.
+func (p *Pool) Calls() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total uint64
+	for _, i := range p.instances {
+		total += i.Calls()
+	}
+	return total
+}
+
+// WaitStats reports the distribution of time requests spent waiting before
+// execution began, the autoscaler's saturation signal.
+func (p *Pool) WaitStats() metrics.Snapshot { return p.wait.Snapshot() }
+
+// Scale adjusts the pool to n instances. Growth pays the startup delay per
+// new instance (concurrently); shrinking is immediate — in-flight requests
+// on removed instances complete, since instances are only garbage once
+// callers drain.
+func (p *Pool) Scale(ctx context.Context, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("services: cannot scale %q to %d instances", p.spec.Name, n)
+	}
+	p.mu.Lock()
+	cur := len(p.instances)
+	delay := p.startupDelay
+	p.mu.Unlock()
+
+	if n <= cur {
+		p.mu.Lock()
+		p.instances = p.instances[:n]
+		if p.next >= n {
+			p.next = 0
+		}
+		p.mu.Unlock()
+		return nil
+	}
+
+	if delay > 0 {
+		if !sleepCtx(ctx, delay) {
+			return fmt.Errorf("services: scaling %q: %w", p.spec.Name, ctx.Err())
+		}
+	}
+	for k := cur; k < n; k++ {
+		inst, err := NewInstance(p.spec, p.cpuFactor)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.instances = append(p.instances, inst)
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// Invoke dispatches a request to the least-loaded instance.
+func (p *Pool) Invoke(ctx context.Context, req Request) (Response, error) {
+	p.mu.Lock()
+	if len(p.instances) == 0 {
+		p.mu.Unlock()
+		return Response{}, fmt.Errorf("services: pool %q has no instances", p.spec.Name)
+	}
+	best := p.instances[p.next%len(p.instances)]
+	for _, inst := range p.instances {
+		if inst.InFlight() < best.InFlight() {
+			best = inst
+		}
+	}
+	p.next++
+	p.mu.Unlock()
+
+	enqueued := time.Now()
+	resp, err := best.Invoke(ctx, req)
+	// Wait time approximation: anything beyond the nominal cost was
+	// queueing/contention.
+	nominal := time.Duration(float64(p.spec.Cost) / p.cpuFactor)
+	if extra := time.Since(enqueued) - nominal; extra > 0 {
+		p.wait.Observe(extra)
+	} else {
+		p.wait.Observe(0)
+	}
+	return resp, err
+}

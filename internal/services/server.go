@@ -1,0 +1,152 @@
+package services
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"videopipe/internal/frame"
+	"videopipe/internal/wire"
+)
+
+// Wire protocol for remote service calls (the baseline architecture's "API
+// calls to a remote server", paper Fig. 5):
+//
+//	request parts:  [service name][JSON args][encoded frame?]
+//	response parts: [JSON result][encoded frame?]
+//
+// Frames are codec-encoded for transfer — this encode/transfer/decode cost
+// is exactly what co-location avoids.
+
+// Server exposes a set of service pools over the wire layer.
+type Server struct {
+	responder *wire.Responder
+	pools     map[string]*Pool
+	codec     frame.Codec
+}
+
+// NewServer binds a service server at port (0 = ephemeral) serving the
+// given pools.
+func NewServer(t wire.Transport, port int, pools map[string]*Pool, codec frame.Codec) (*Server, error) {
+	if codec == nil {
+		codec = frame.JPEGCodec{}
+	}
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("services: server needs at least one pool")
+	}
+	s := &Server{pools: pools, codec: codec}
+	resp, err := wire.ListenResponder(t, port, s.handle)
+	if err != nil {
+		return nil, fmt.Errorf("services: server: %w", err)
+	}
+	s.responder = resp
+	return s, nil
+}
+
+// Addr reports the server's bound address.
+func (s *Server) Addr() net.Addr { return s.responder.Addr() }
+
+// Close stops serving.
+func (s *Server) Close() error { return s.responder.Close() }
+
+func (s *Server) handle(ctx context.Context, m wire.Message) (wire.Message, error) {
+	if m.Len() < 2 {
+		return wire.Message{}, fmt.Errorf("services: malformed request (%d parts)", m.Len())
+	}
+	name := m.StringPart(0)
+	pool, ok := s.pools[name]
+	if !ok {
+		return wire.Message{}, fmt.Errorf("services: unknown service %q", name)
+	}
+
+	var args map[string]any
+	if raw := m.Part(1); len(raw) > 0 {
+		if err := json.Unmarshal(raw, &args); err != nil {
+			return wire.Message{}, fmt.Errorf("services: bad args: %w", err)
+		}
+	}
+
+	req := Request{Args: args}
+	if m.Len() >= 3 && len(m.Part(2)) > 0 {
+		f, err := s.codec.Decode(m.Part(2))
+		if err != nil {
+			return wire.Message{}, fmt.Errorf("services: bad frame payload: %w", err)
+		}
+		req.Frame = f
+	}
+
+	resp, err := pool.Invoke(ctx, req)
+	if err != nil {
+		return wire.Message{}, err
+	}
+
+	resultJSON, err := json.Marshal(resp.Result)
+	if err != nil {
+		return wire.Message{}, fmt.Errorf("services: marshal result: %w", err)
+	}
+	out := wire.NewMessage(resultJSON)
+	if resp.Frame != nil {
+		data, err := s.codec.Encode(resp.Frame)
+		if err != nil {
+			return wire.Message{}, fmt.Errorf("services: encode result frame: %w", err)
+		}
+		out.Parts = append(out.Parts, data)
+	}
+	return out, nil
+}
+
+// Client calls remote services over the wire layer.
+type Client struct {
+	caller *wire.Caller
+	codec  frame.Codec
+}
+
+// NewClient creates a client for the service server at address.
+func NewClient(t wire.Transport, address string, codec frame.Codec) *Client {
+	if codec == nil {
+		codec = frame.JPEGCodec{}
+	}
+	return &Client{caller: wire.DialCaller(t, address), codec: codec}
+}
+
+// Call invokes a remote service, encoding the frame (if any) for transfer.
+func (c *Client) Call(ctx context.Context, service string, args map[string]any, f *frame.Frame) (Response, error) {
+	argsJSON, err := json.Marshal(args)
+	if err != nil {
+		return Response{}, fmt.Errorf("services: marshal args: %w", err)
+	}
+	req := wire.NewMessage([]byte(service), argsJSON)
+	if f != nil {
+		data, err := c.codec.Encode(f)
+		if err != nil {
+			return Response{}, fmt.Errorf("services: encode frame: %w", err)
+		}
+		req.Parts = append(req.Parts, data)
+	}
+
+	out, err := c.caller.Call(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+	if out.Len() < 1 {
+		return Response{}, fmt.Errorf("services: empty response")
+	}
+	var resp Response
+	if raw := out.Part(0); len(raw) > 0 {
+		if err := json.Unmarshal(raw, &resp.Result); err != nil {
+			return Response{}, fmt.Errorf("services: bad result payload: %w", err)
+		}
+	}
+	if out.Len() >= 2 && len(out.Part(1)) > 0 {
+		rf, err := c.codec.Decode(out.Part(1))
+		if err != nil {
+			return Response{}, fmt.Errorf("services: bad result frame: %w", err)
+		}
+		resp.Frame = rf
+	}
+	return resp, nil
+}
+
+// Close releases the client's connection.
+func (c *Client) Close() error { return c.caller.Close() }

@@ -1,0 +1,158 @@
+// Package services implements VideoPipe's stateless services (paper §2.2):
+// the container-hosted units that do the heavy framewise video analytics —
+// pose detection, activity recognition, rep counting, object detection,
+// image classification, face detection, fall detection and display
+// composition.
+//
+// Services are stateless by contract: every call carries all the data it
+// needs (including, for the sequence-dependent algorithms, an opaque state
+// blob the caller owns), so instances can be shared across pipelines and
+// scaled horizontally. Each instance models a container: a worker-
+// concurrency limit, a per-call compute cost calibrated to the paper's DNN
+// latencies (scaled by the hosting device's CPU factor), and a partially
+// serialized execution section that produces realistic contention when
+// multiple pipelines share one instance.
+package services
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"videopipe/internal/frame"
+)
+
+// Request is one service invocation's input.
+type Request struct {
+	// Args carries JSON-style named arguments.
+	Args map[string]any
+	// Frame carries pixel data for frame-consuming services. Co-located
+	// callers pass the stored frame directly (zero copy); remote callers'
+	// frames arrive decoded by the transport layer.
+	Frame *frame.Frame
+}
+
+// Response is one service invocation's output.
+type Response struct {
+	// Result carries JSON-style named results.
+	Result map[string]any
+	// Frame carries pixel output for frame-producing services (display).
+	Frame *frame.Frame
+}
+
+// Handler is a service implementation. Handlers must be stateless and safe
+// for concurrent use.
+type Handler func(ctx context.Context, req Request) (Response, error)
+
+// Spec describes one deployable service type.
+type Spec struct {
+	// Name is the identifier modules use in call_service and configs.
+	Name string
+	// Cost is the simulated inference latency on a reference (desktop,
+	// CPUFactor 1.0) device. The handler's real compute time counts toward
+	// it; only the remainder is slept.
+	Cost time.Duration
+	// SerialFraction is the share of Cost executed under an instance-wide
+	// lock, modelling the non-parallel portion of accelerator inference.
+	// Zero means fully parallel across workers.
+	SerialFraction float64
+	// Workers is the per-instance concurrency limit; <= 0 means 1.
+	Workers int
+	// NeedsFrame documents whether requests must carry a frame.
+	NeedsFrame bool
+	// Handler is the implementation.
+	Handler Handler
+}
+
+// validate checks a spec for registration.
+func (s Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("services: spec missing name")
+	}
+	if s.Handler == nil {
+		return fmt.Errorf("services: spec %q missing handler", s.Name)
+	}
+	if s.Cost < 0 {
+		return fmt.Errorf("services: spec %q has negative cost", s.Name)
+	}
+	if s.SerialFraction < 0 || s.SerialFraction > 1 {
+		return fmt.Errorf("services: spec %q has serial fraction %v outside [0,1]", s.Name, s.SerialFraction)
+	}
+	return nil
+}
+
+// Registry is a catalogue of service specs. The paper's list of services an
+// application may use is predefined (§3.1); the registry is that list.
+type Registry struct {
+	specs map[string]Spec
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: make(map[string]Spec)}
+}
+
+// Register adds a spec; re-registering a name is an error.
+func (r *Registry) Register(s Spec) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	if _, dup := r.specs[s.Name]; dup {
+		return fmt.Errorf("services: %q already registered", s.Name)
+	}
+	r.specs[s.Name] = s
+	return nil
+}
+
+// Lookup finds a spec by name.
+func (r *Registry) Lookup(name string) (Spec, error) {
+	s, ok := r.specs[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("services: unknown service %q", name)
+	}
+	return s, nil
+}
+
+// Names reports the registered service names (unordered).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ---- argument helpers shared by the standard services ----
+
+// argString extracts a string argument.
+func argString(args map[string]any, key string) (string, bool) {
+	s, ok := args[key].(string)
+	return s, ok
+}
+
+// argFloat extracts a numeric argument.
+func argFloat(args map[string]any, key string) (float64, bool) {
+	switch v := args[key].(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	default:
+		return 0, false
+	}
+}
+
+// reencode converts arbitrary JSON-able data into map[string]any via the
+// json package, normalizing numeric types.
+func reencode(v any) (map[string]any, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("services: marshal: %w", err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("services: unmarshal: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,397 @@
+package services
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"image/color"
+	"time"
+
+	"videopipe/internal/vision"
+)
+
+// StandardOptions configures the standard service set. Costs are the
+// simulated inference latencies on the reference desktop, calibrated so the
+// pipeline reproduces the paper's Fig. 6 stage latencies and Table 2 frame
+// rates: pose detection dominates at ~85 ms (the paper's pipeline saturates
+// near 11 FPS), the pose-sequence models are cheap, and display composition
+// is a few milliseconds.
+type StandardOptions struct {
+	// Seed drives activity-classifier training-data generation.
+	Seed int64
+	// DatasetConfig controls classifier training; zero value selects the
+	// default corpus.
+	DatasetConfig vision.DatasetConfig
+
+	// PoseCost is the pose detector's per-frame inference latency.
+	PoseCost time.Duration
+	// PoseWorkers is the pose container's internal concurrency.
+	PoseWorkers int
+	// PoseSerialFraction is the non-parallel share of pose inference.
+	PoseSerialFraction float64
+
+	// ActivityCost, RepCost, DisplayCost, ObjectCost, ClassifyCost,
+	// FaceCost and FallCost are the remaining services' latencies.
+	ActivityCost time.Duration
+	RepCost      time.Duration
+	DisplayCost  time.Duration
+	ObjectCost   time.Duration
+	ClassifyCost time.Duration
+	FaceCost     time.Duration
+	FallCost     time.Duration
+}
+
+// DefaultOptions returns the calibration used by the paper-reproduction
+// experiments.
+func DefaultOptions() StandardOptions {
+	return StandardOptions{
+		Seed:               1,
+		PoseCost:           85 * time.Millisecond,
+		PoseWorkers:        2,
+		PoseSerialFraction: 0.5,
+		ActivityCost:       6 * time.Millisecond,
+		RepCost:            3 * time.Millisecond,
+		DisplayCost:        4 * time.Millisecond,
+		ObjectCost:         60 * time.Millisecond,
+		ClassifyCost:       25 * time.Millisecond,
+		FaceCost:           30 * time.Millisecond,
+		FallCost:           3 * time.Millisecond,
+	}
+}
+
+// Standard service names.
+const (
+	PoseDetector       = "pose_detector"
+	ActivityClassifier = "activity_classifier"
+	RepCounter         = "rep_counter"
+	Display            = "display"
+	ObjectDetector     = "object_detector"
+	ImageClassifier    = "image_classifier"
+	FaceDetector       = "face_detector"
+	FallDetector       = "fall_detector"
+)
+
+// NewStandardRegistry builds the paper's predefined service list (§3.1),
+// training the activity classifier on a synthetic labelled corpus.
+func NewStandardRegistry(opts StandardOptions) (*Registry, error) {
+	if opts.PoseCost == 0 {
+		opts = DefaultOptions()
+	}
+
+	dsCfg := opts.DatasetConfig
+	if len(dsCfg.Activities) == 0 {
+		dsCfg = vision.DefaultDatasetConfig()
+		dsCfg.Seed = opts.Seed
+	}
+	ds, err := vision.GenerateDataset(dsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("services: training corpus: %w", err)
+	}
+	clf := vision.NewActivityClassifier(3)
+	if err := clf.Train(ds.Train); err != nil {
+		return nil, fmt.Errorf("services: training classifier: %w", err)
+	}
+
+	imgClf := vision.NewImageClassifier()
+
+	r := NewRegistry()
+	specs := []Spec{
+		{
+			Name: PoseDetector, Cost: opts.PoseCost, Workers: opts.PoseWorkers,
+			SerialFraction: opts.PoseSerialFraction, NeedsFrame: true,
+			Handler: handlePose,
+		},
+		{
+			Name: ActivityClassifier, Cost: opts.ActivityCost, Workers: 2,
+			Handler: handleActivity(clf),
+		},
+		{
+			Name: RepCounter, Cost: opts.RepCost, Workers: 2,
+			Handler: handleRepCount,
+		},
+		{
+			Name: Display, Cost: opts.DisplayCost, Workers: 2, NeedsFrame: true,
+			Handler: handleDisplay,
+		},
+		{
+			Name: ObjectDetector, Cost: opts.ObjectCost, Workers: 2, SerialFraction: 0.3, NeedsFrame: true,
+			Handler: handleObjects,
+		},
+		{
+			Name: ImageClassifier, Cost: opts.ClassifyCost, Workers: 2, NeedsFrame: true,
+			Handler: handleClassify(imgClf),
+		},
+		{
+			Name: FaceDetector, Cost: opts.FaceCost, Workers: 2, NeedsFrame: true,
+			Handler: handleFace,
+		},
+		{
+			Name: FallDetector, Cost: opts.FallCost, Workers: 2,
+			Handler: handleFall,
+		},
+	}
+	for _, s := range specs {
+		if err := r.Register(s); err != nil {
+			return nil, err
+		}
+	}
+	// The image classifier trains online via classify requests carrying a
+	// "train" label; expose the model through the registry-owned closure.
+	return r, nil
+}
+
+// handlePose runs the 2D pose detector (paper §4.1.1).
+func handlePose(_ context.Context, req Request) (Response, error) {
+	if req.Frame == nil {
+		return Response{}, fmt.Errorf("pose_detector: request carries no frame")
+	}
+	pose, found := vision.DetectPose(req.Frame)
+	result := map[string]any{"found": found}
+	if found {
+		result["pose"] = pose.ToMap()
+	}
+	return Response{Result: result}, nil
+}
+
+// handleActivity classifies a window of poses (paper §4.1.2).
+func handleActivity(clf *vision.ActivityClassifier) Handler {
+	return func(_ context.Context, req Request) (Response, error) {
+		rawPoses, ok := req.Args["poses"].([]any)
+		if !ok {
+			return Response{}, fmt.Errorf("activity_classifier: missing poses argument")
+		}
+		if len(rawPoses) != vision.WindowSize {
+			return Response{}, fmt.Errorf("activity_classifier: got %d poses, want %d", len(rawPoses), vision.WindowSize)
+		}
+		window := make([]vision.Pose, len(rawPoses))
+		for i, raw := range rawPoses {
+			m, ok := raw.(map[string]any)
+			if !ok {
+				return Response{}, fmt.Errorf("activity_classifier: pose %d is not an object", i)
+			}
+			p, err := vision.PoseFromMap(m)
+			if err != nil {
+				return Response{}, fmt.Errorf("activity_classifier: pose %d: %w", i, err)
+			}
+			window[i] = p
+		}
+		label, conf, err := clf.Classify(window)
+		if err != nil {
+			return Response{}, fmt.Errorf("activity_classifier: %w", err)
+		}
+		return Response{Result: map[string]any{
+			"activity":   label.String(),
+			"confidence": conf,
+			"actionable": vision.Actionable(conf),
+		}}, nil
+	}
+}
+
+// handleRepCount advances the stateless rep counter (paper §4.1.3): the
+// caller passes the previous state blob and the new pose, and receives the
+// updated blob and count.
+func handleRepCount(_ context.Context, req Request) (Response, error) {
+	stateB64, _ := argString(req.Args, "state")
+	state, err := base64.StdEncoding.DecodeString(stateB64)
+	if err != nil {
+		return Response{}, fmt.Errorf("rep_counter: bad state encoding: %w", err)
+	}
+	rc, err := vision.RestoreRepCounter(state)
+	if err != nil {
+		return Response{}, fmt.Errorf("rep_counter: %w", err)
+	}
+	poseMap, ok := req.Args["pose"].(map[string]any)
+	if !ok {
+		return Response{}, fmt.Errorf("rep_counter: missing pose argument")
+	}
+	pose, err := vision.PoseFromMap(poseMap)
+	if err != nil {
+		return Response{}, fmt.Errorf("rep_counter: %w", err)
+	}
+	reps := rc.Observe(pose)
+	newState, err := rc.MarshalState()
+	if err != nil {
+		return Response{}, fmt.Errorf("rep_counter: %w", err)
+	}
+	return Response{Result: map[string]any{
+		"state":      base64.StdEncoding.EncodeToString(newState),
+		"reps":       float64(reps),
+		"calibrated": rc.Calibrated(),
+	}}, nil
+}
+
+// handleFall advances the stateless fall detector (paper §4.3).
+func handleFall(_ context.Context, req Request) (Response, error) {
+	stateB64, _ := argString(req.Args, "state")
+	state, err := base64.StdEncoding.DecodeString(stateB64)
+	if err != nil {
+		return Response{}, fmt.Errorf("fall_detector: bad state encoding: %w", err)
+	}
+	fd, err := vision.RestoreFallDetector(state)
+	if err != nil {
+		return Response{}, fmt.Errorf("fall_detector: %w", err)
+	}
+	poseMap, ok := req.Args["pose"].(map[string]any)
+	if !ok {
+		return Response{}, fmt.Errorf("fall_detector: missing pose argument")
+	}
+	pose, err := vision.PoseFromMap(poseMap)
+	if err != nil {
+		return Response{}, fmt.Errorf("fall_detector: %w", err)
+	}
+	alert := fd.Observe(pose)
+	newState, err := fd.MarshalState()
+	if err != nil {
+		return Response{}, fmt.Errorf("fall_detector: %w", err)
+	}
+	return Response{Result: map[string]any{
+		"state":  base64.StdEncoding.EncodeToString(newState),
+		"fallen": fd.Fallen(),
+		"alert":  alert,
+	}}, nil
+}
+
+// handleObjects runs blob object detection.
+func handleObjects(_ context.Context, req Request) (Response, error) {
+	if req.Frame == nil {
+		return Response{}, fmt.Errorf("object_detector: request carries no frame")
+	}
+	dets := vision.DetectObjects(req.Frame)
+	objs := make([]any, len(dets))
+	for i, d := range dets {
+		objs[i] = map[string]any{
+			"label": d.Label,
+			"score": d.Score,
+			"box": map[string]any{
+				"min_x": d.Box.MinX, "min_y": d.Box.MinY,
+				"max_x": d.Box.MaxX, "max_y": d.Box.MaxY,
+			},
+		}
+	}
+	return Response{Result: map[string]any{"objects": objs, "count": float64(len(dets))}}, nil
+}
+
+// handleClassify serves the image classifier; requests with a "train"
+// argument add a labelled example (model updates are append-only and
+// thread-safe at the vision layer granularity, guarded here).
+func handleClassify(clf *vision.ImageClassifier) Handler {
+	var guard = make(chan struct{}, 1)
+	guard <- struct{}{}
+	return func(_ context.Context, req Request) (Response, error) {
+		if req.Frame == nil {
+			return Response{}, fmt.Errorf("image_classifier: request carries no frame")
+		}
+		<-guard
+		defer func() { guard <- struct{}{} }()
+		if label, ok := argString(req.Args, "train"); ok {
+			if err := clf.Train(label, req.Frame); err != nil {
+				return Response{}, fmt.Errorf("image_classifier: %w", err)
+			}
+			return Response{Result: map[string]any{"trained": label}}, nil
+		}
+		label, conf, err := clf.Classify(req.Frame)
+		if err != nil {
+			return Response{}, fmt.Errorf("image_classifier: %w", err)
+		}
+		return Response{Result: map[string]any{"label": label, "confidence": conf}}, nil
+	}
+}
+
+// handleFace reports the head region of the detected person.
+func handleFace(_ context.Context, req Request) (Response, error) {
+	if req.Frame == nil {
+		return Response{}, fmt.Errorf("face_detector: request carries no frame")
+	}
+	pose, found := vision.DetectPose(req.Frame)
+	if !found {
+		return Response{Result: map[string]any{"found": false}}, nil
+	}
+	head := []vision.Point{
+		pose.Keypoints[vision.Nose],
+		pose.Keypoints[vision.LeftEye], pose.Keypoints[vision.RightEye],
+		pose.Keypoints[vision.LeftEar], pose.Keypoints[vision.RightEar],
+	}
+	box := vision.Box{MinX: head[0].X, MinY: head[0].Y, MaxX: head[0].X, MaxY: head[0].Y}
+	for _, p := range head[1:] {
+		if p.X < box.MinX {
+			box.MinX = p.X
+		}
+		if p.Y < box.MinY {
+			box.MinY = p.Y
+		}
+		if p.X > box.MaxX {
+			box.MaxX = p.X
+		}
+		if p.Y > box.MaxY {
+			box.MaxY = p.Y
+		}
+	}
+	pad := 1.2 * (box.MaxX - box.MinX)
+	return Response{Result: map[string]any{
+		"found": true,
+		"box": map[string]any{
+			"min_x": box.MinX - pad/2, "min_y": box.MinY - pad/2,
+			"max_x": box.MaxX + pad/2, "max_y": box.MaxY + pad,
+		},
+	}}, nil
+}
+
+// handleDisplay composes the TV output (paper Fig. 3): the camera frame
+// with the skeleton overlay, an activity color bar and rep-count tick
+// marks. It returns the annotated frame.
+func handleDisplay(_ context.Context, req Request) (Response, error) {
+	if req.Frame == nil {
+		return Response{}, fmt.Errorf("display: request carries no frame")
+	}
+	out := req.Frame.Clone()
+
+	if poseMap, ok := req.Args["pose"].(map[string]any); ok {
+		pose, err := vision.PoseFromMap(poseMap)
+		if err != nil {
+			return Response{}, fmt.Errorf("display: %w", err)
+		}
+		overlay := color.RGBA{R: 255, G: 215, B: 0, A: 255}
+		for _, bone := range vision.Bones {
+			a := pose.Keypoints[bone[0]]
+			b := pose.Keypoints[bone[1]]
+			out.DrawLine(int(a.X)+1, int(a.Y)+1, int(b.X)+1, int(b.Y)+1, overlay)
+		}
+	}
+
+	// Activity banner: a colored bar at the top whose hue encodes the label.
+	if activity, ok := argString(req.Args, "activity"); ok && activity != "" {
+		c := bannerColor(activity)
+		out.DrawRect(0, 0, out.Width-1, 11, c)
+	}
+
+	// Rep counter: one tick mark per completed rep along the bottom.
+	if reps, ok := argFloat(req.Args, "reps"); ok {
+		tick := color.RGBA{R: 255, G: 255, B: 255, A: 255}
+		for k := 0; k < int(reps) && 8+k*14 < out.Width; k++ {
+			out.DrawRect(8+k*14, out.Height-16, 16+k*14, out.Height-8, tick)
+		}
+	}
+	// The display service IS the screen: it renders in place. The composed
+	// frame ships back only when the caller asks (return_frame), so remote
+	// callers don't pay a pointless reverse transfer.
+	resp := Response{Result: map[string]any{"rendered": true}}
+	if want, ok := req.Args["return_frame"].(bool); ok && want {
+		resp.Frame = out
+	}
+	return resp, nil
+}
+
+// bannerColor derives a stable display color from an activity label.
+func bannerColor(activity string) color.RGBA {
+	var h uint32 = 2166136261
+	for i := 0; i < len(activity); i++ {
+		h ^= uint32(activity[i])
+		h *= 16777619
+	}
+	return color.RGBA{
+		R: uint8(64 + h%160),
+		G: uint8(64 + (h>>8)%160),
+		B: uint8(64 + (h>>16)%160),
+		A: 255,
+	}
+}

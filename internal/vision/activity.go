@@ -1,0 +1,174 @@
+package vision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WindowSize is the number of consecutive pose frames the activity
+// recognizer classifies at a time (paper §4.1.2: "we take a list of 15
+// consecutive frames").
+const WindowSize = 15
+
+// WindowFeatures flattens a window of poses into one feature vector,
+// normalizing each frame so (0,0) is the hip midpoint (paper §4.1.2: "we
+// normalize the coordinates framewise so that (0,0) is located at the
+// average of the left and right hips").
+func WindowFeatures(window []Pose) ([]float64, error) {
+	if len(window) != WindowSize {
+		return nil, fmt.Errorf("vision: window has %d poses, want %d", len(window), WindowSize)
+	}
+	out := make([]float64, 0, WindowSize*2*NumKeypoints)
+	for _, p := range window {
+		out = append(out, p.Features()...)
+	}
+	return out, nil
+}
+
+// LabeledWindow is one training or test example.
+type LabeledWindow struct {
+	Label    Activity
+	Features []float64
+}
+
+// ActivityClassifier is the paper's activity recognizer: k-nearest
+// neighbours over normalized pose-sequence windows.
+type ActivityClassifier struct {
+	k       int
+	samples []LabeledWindow
+}
+
+// NewActivityClassifier creates a classifier with the given neighbourhood
+// size; k <= 0 selects 3.
+func NewActivityClassifier(k int) *ActivityClassifier {
+	if k <= 0 {
+		k = 3
+	}
+	return &ActivityClassifier{k: k}
+}
+
+// Train adds labelled windows to the model. kNN is instance-based, so
+// training is accumulation.
+func (c *ActivityClassifier) Train(samples []LabeledWindow) error {
+	for i, s := range samples {
+		if len(s.Features) != WindowSize*2*NumKeypoints {
+			return fmt.Errorf("vision: sample %d has %d features, want %d", i, len(s.Features), WindowSize*2*NumKeypoints)
+		}
+		if s.Label == 0 {
+			return fmt.Errorf("vision: sample %d has no label", i)
+		}
+	}
+	c.samples = append(c.samples, samples...)
+	return nil
+}
+
+// TrainPoses is a convenience wrapper: extract features from a pose window
+// and add it with the given label.
+func (c *ActivityClassifier) TrainPoses(label Activity, window []Pose) error {
+	feats, err := WindowFeatures(window)
+	if err != nil {
+		return err
+	}
+	return c.Train([]LabeledWindow{{Label: label, Features: feats}})
+}
+
+// Len reports the number of stored training samples.
+func (c *ActivityClassifier) Len() int { return len(c.samples) }
+
+// Classify predicts the activity for a pose window and returns the label
+// with its confidence (fraction of the k nearest neighbours agreeing).
+func (c *ActivityClassifier) Classify(window []Pose) (Activity, float64, error) {
+	feats, err := WindowFeatures(window)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.ClassifyFeatures(feats)
+}
+
+// ClassifyFeatures predicts from an already-extracted feature vector.
+func (c *ActivityClassifier) ClassifyFeatures(feats []float64) (Activity, float64, error) {
+	if len(c.samples) == 0 {
+		return 0, 0, fmt.Errorf("vision: classifier has no training data")
+	}
+	if len(feats) != WindowSize*2*NumKeypoints {
+		return 0, 0, fmt.Errorf("vision: feature vector has %d values, want %d", len(feats), WindowSize*2*NumKeypoints)
+	}
+
+	type scored struct {
+		dist  float64
+		label Activity
+	}
+	scores := make([]scored, len(c.samples))
+	for i, s := range c.samples {
+		scores[i] = scored{dist: sqDist(feats, s.Features), label: s.Label}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].dist < scores[j].dist })
+
+	k := c.k
+	if k > len(scores) {
+		k = len(scores)
+	}
+	votes := make(map[Activity]int)
+	for _, s := range scores[:k] {
+		votes[s.label]++
+	}
+	var best Activity
+	bestVotes := -1
+	for label, n := range votes {
+		if n > bestVotes || (n == bestVotes && label < best) {
+			best, bestVotes = label, n
+		}
+	}
+	return best, float64(bestVotes) / float64(k), nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// EvaluateAccuracy scores the classifier on a labelled test set, returning
+// the fraction of correct predictions. It reproduces the paper's withheld
+// test-set evaluation (§4.1.2 reports above 90%).
+func (c *ActivityClassifier) EvaluateAccuracy(test []LabeledWindow) (float64, error) {
+	if len(test) == 0 {
+		return 0, fmt.Errorf("vision: empty test set")
+	}
+	correct := 0
+	for _, s := range test {
+		pred, _, err := c.ClassifyFeatures(s.Features)
+		if err != nil {
+			return 0, err
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test)), nil
+}
+
+// SlidingWindows cuts a pose sequence into consecutive windows with the
+// given stride, discarding a final partial window.
+func SlidingWindows(poses []Pose, stride int) [][]Pose {
+	if stride <= 0 {
+		stride = 1
+	}
+	var out [][]Pose
+	for start := 0; start+WindowSize <= len(poses); start += stride {
+		out = append(out, poses[start:start+WindowSize])
+	}
+	return out
+}
+
+// Confidence helpers used by gesture applications: a classification is
+// actionable only when it is strong and stable.
+const minActionableConfidence = 0.6
+
+// Actionable reports whether a classification is confident enough to
+// trigger an IoT action.
+func Actionable(conf float64) bool { return conf >= minActionableConfidence && !math.IsNaN(conf) }

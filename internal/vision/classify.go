@@ -1,0 +1,131 @@
+package vision
+
+import (
+	"fmt"
+	"sort"
+
+	"videopipe/internal/frame"
+)
+
+// ImageClassifier is the image-classification service's model: a
+// nearest-centroid classifier over cheap global image features (mean color
+// plus a coarse luminance histogram). It stands in for the paper's
+// container-hosted CNN classifier; what the system cares about is a
+// stateless classify(frame) -> label call.
+type ImageClassifier struct {
+	classes map[string][]float64
+	counts  map[string]int
+}
+
+// NewImageClassifier creates an empty classifier.
+func NewImageClassifier() *ImageClassifier {
+	return &ImageClassifier{classes: make(map[string][]float64), counts: make(map[string]int)}
+}
+
+// featureDim: mean R, G, B + 8 luma histogram bins + horizontal/vertical
+// brightness balance.
+const classifierFeatureDim = 3 + 8 + 2
+
+// ImageFeatures extracts the classifier's global feature vector.
+func ImageFeatures(f *frame.Frame) []float64 {
+	out := make([]float64, classifierFeatureDim)
+	if f.Width == 0 || f.Height == 0 {
+		return out
+	}
+	n := float64(f.Width * f.Height)
+	var sumR, sumG, sumB float64
+	var leftLuma, topLuma float64
+	for y := 0; y < f.Height; y++ {
+		for x := 0; x < f.Width; x++ {
+			i := (y*f.Width + x) * 4
+			r, g, b := float64(f.Pix[i]), float64(f.Pix[i+1]), float64(f.Pix[i+2])
+			sumR += r
+			sumG += g
+			sumB += b
+			luma := 0.299*r + 0.587*g + 0.114*b
+			bin := int(luma / 32)
+			if bin > 7 {
+				bin = 7
+			}
+			out[3+bin]++
+			if x < f.Width/2 {
+				leftLuma += luma
+			}
+			if y < f.Height/2 {
+				topLuma += luma
+			}
+		}
+	}
+	out[0] = sumR / n / 255
+	out[1] = sumG / n / 255
+	out[2] = sumB / n / 255
+	var totalLuma float64
+	for b := 0; b < 8; b++ {
+		totalLuma += out[3+b]
+	}
+	for b := 0; b < 8; b++ {
+		out[3+b] /= n
+	}
+	if totalLuma > 0 {
+		// leftLuma/topLuma are sums of luma (0-255); normalize by the max
+		// possible to keep features in [0,1].
+		out[11] = leftLuma / (n * 255)
+		out[12] = topLuma / (n * 255)
+	}
+	return out
+}
+
+// Train adds one labelled example, updating the class centroid.
+func (c *ImageClassifier) Train(label string, f *frame.Frame) error {
+	if label == "" {
+		return fmt.Errorf("vision: empty class label")
+	}
+	feats := ImageFeatures(f)
+	cur, ok := c.classes[label]
+	if !ok {
+		c.classes[label] = feats
+		c.counts[label] = 1
+		return nil
+	}
+	n := float64(c.counts[label])
+	for i := range cur {
+		cur[i] = (cur[i]*n + feats[i]) / (n + 1)
+	}
+	c.counts[label]++
+	return nil
+}
+
+// Classes reports the trained labels, sorted.
+func (c *ImageClassifier) Classes() []string {
+	out := make([]string, 0, len(c.classes))
+	for label := range c.classes {
+		out = append(out, label)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classify predicts the label for a frame with a softmax-ish confidence.
+func (c *ImageClassifier) Classify(f *frame.Frame) (string, float64, error) {
+	if len(c.classes) == 0 {
+		return "", 0, fmt.Errorf("vision: classifier has no classes")
+	}
+	feats := ImageFeatures(f)
+	best, second := "", ""
+	bestD, secondD := -1.0, -1.0
+	for _, label := range c.Classes() {
+		d := sqDist(feats, c.classes[label])
+		if bestD < 0 || d < bestD {
+			second, secondD = best, bestD
+			best, bestD = label, d
+		} else if secondD < 0 || d < secondD {
+			second, secondD = label, d
+		}
+	}
+	_ = second
+	conf := 1.0
+	if secondD > 0 {
+		conf = 1 - bestD/(bestD+secondD)
+	}
+	return best, conf, nil
+}

@@ -1,0 +1,141 @@
+package vision
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DatasetConfig controls synthetic labelled-data generation for the
+// accuracy experiments (paper §4.1.2/§4.1.3: trained on all available
+// labelled data except a withheld test set).
+type DatasetConfig struct {
+	// Activities to include.
+	Activities []Activity
+	// SequencesPerActivity is the number of distinct recorded sequences
+	// (subjects × sessions) per activity.
+	SequencesPerActivity int
+	// FramesPerSequence is the length of each recording.
+	FramesPerSequence int
+	// FPS is the capture rate.
+	FPS float64
+	// Noise is keypoint jitter in pixels.
+	Noise float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultDatasetConfig mirrors the paper's standardized home-camera setup.
+func DefaultDatasetConfig() DatasetConfig {
+	return DatasetConfig{
+		Activities:           []Activity{Idle, Squat, JumpingJack, OverheadPress, Lunge, Wave, Clap},
+		SequencesPerActivity: 12,
+		FramesPerSequence:    90,
+		FPS:                  15,
+		Noise:                4.0,
+		Seed:                 1,
+	}
+}
+
+// Dataset is a labelled activity-window corpus split into train and test.
+type Dataset struct {
+	Train []LabeledWindow
+	Test  []LabeledWindow
+}
+
+// GenerateDataset synthesizes pose sequences per activity with varied
+// subjects and rep rates, slices them into 15-frame windows, and withholds
+// every sequence whose index falls in the test split (1 in 4) — whole
+// sequences are withheld, not windows, so train and test never share a
+// recording.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) {
+	if len(cfg.Activities) == 0 {
+		return nil, fmt.Errorf("vision: dataset needs at least one activity")
+	}
+	if cfg.FramesPerSequence < WindowSize {
+		return nil, fmt.Errorf("vision: sequences of %d frames are shorter than a window (%d)", cfg.FramesPerSequence, WindowSize)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{}
+
+	for _, act := range cfg.Activities {
+		for seq := 0; seq < cfg.SequencesPerActivity; seq++ {
+			subject := Subject{
+				CenterX: 320 + rng.Float64()*40 - 20,
+				CenterY: 260 + rng.Float64()*30 - 15,
+				Scale:   80 * (0.9 + rng.Float64()*0.2),
+				Noise:   cfg.Noise,
+				Phase0:  rng.Float64(),
+			}
+			repRate := 0.4 + rng.Float64()*0.4 // 0.4-0.8 reps/sec
+			poses, _ := SynthesizeSequence(act, cfg.FramesPerSequence, cfg.FPS, repRate, subject, rng)
+
+			isTest := seq%4 == 3
+			for _, w := range SlidingWindows(poses, WindowSize/3) {
+				feats, err := WindowFeatures(w)
+				if err != nil {
+					return nil, err
+				}
+				lw := LabeledWindow{Label: act, Features: feats}
+				if isTest {
+					ds.Test = append(ds.Test, lw)
+				} else {
+					ds.Train = append(ds.Train, lw)
+				}
+			}
+		}
+	}
+	if len(ds.Train) == 0 || len(ds.Test) == 0 {
+		return nil, fmt.Errorf("vision: dataset split produced empty train (%d) or test (%d)", len(ds.Train), len(ds.Test))
+	}
+	return ds, nil
+}
+
+// RepTrial is one rep-counting evaluation case with ground truth.
+type RepTrial struct {
+	Activity  Activity
+	Predicted int
+	Truth     int
+	Accuracy  float64
+}
+
+// EvaluateRepCounting generates exercise sequences with known rep counts,
+// runs the 2-means counter over each, and reports per-trial and mean
+// accuracy (paper §4.1.3 reports 83.3% on its withheld set).
+func EvaluateRepCounting(trials int, seed int64) ([]RepTrial, float64, error) {
+	if trials <= 0 {
+		return nil, 0, fmt.Errorf("vision: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RepTrial, 0, trials)
+	var sum float64
+	for i := 0; i < trials; i++ {
+		act := Exercises[i%len(Exercises)]
+		subject := Subject{
+			CenterX: 320, CenterY: 260,
+			Scale: 80 * (0.9 + rng.Float64()*0.2),
+			Noise: 4 + rng.Float64()*5, // test-set noise: imperfect capture
+		}
+		fps := 15.0
+		repRate := 0.35 + rng.Float64()*0.35
+		truthReps := 4 + rng.Intn(5)
+		frames := int(float64(truthReps)/repRate*fps) + 1
+
+		// Withheld test recordings are harder than the training setup:
+		// the subject drifts sideways and their pace wanders.
+		poses := make([]Pose, frames)
+		phase := subject.Phase0
+		for f := 0; f < frames; f++ {
+			sway := subject
+			sway.CenterX += 25 * math.Sin(float64(f)/float64(fps)*0.9)
+			poses[f] = SynthesizePose(act, phase, sway, rng)
+			drift := 0.75 + 0.5*rng.Float64() // instantaneous pace 0.75x-1.25x
+			phase += repRate / fps * drift
+		}
+		pred := CountReps(poses, DefaultDebounce, 0)
+		acc := RepAccuracy(pred, truthReps)
+		out = append(out, RepTrial{Activity: act, Predicted: pred, Truth: truthReps, Accuracy: acc})
+		sum += acc
+	}
+	return out, sum / float64(trials), nil
+}

@@ -1,0 +1,133 @@
+package vision
+
+import (
+	"math"
+
+	"videopipe/internal/frame"
+)
+
+// markerMatchThreshold is the maximum RGB distance for a pixel to count as
+// a joint marker. Marker colors are >= ~127 apart, so 60 leaves a healthy
+// margin for JPEG artifacts while rejecting background and skeleton pixels.
+const markerMatchThreshold = 60
+
+// DetectPose recovers the 2D pose from a rendered frame: it classifies
+// pixels against the 17 joint marker colors, takes the centroid of each
+// color's pixels as the keypoint, and derives the person bounding box from
+// all foreground pixels (paper §4.1.1: "detects a human and places a
+// bounding box around them; within that bounding box it detects 17
+// keypoints").
+//
+// The returned bool is false when no person is visible (fewer than half
+// the markers found). Score is the fraction of markers located.
+func DetectPose(f *frame.Frame) (Pose, bool) {
+	w, h := f.Width, f.Height
+	labels := make([]int8, w*h)
+
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	foreground := 0
+
+	// Pass 1: classify each pixel against the marker palette and track the
+	// foreground extent.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := (y*w + x) * 4
+			r := int(f.Pix[i])
+			g := int(f.Pix[i+1])
+			b := int(f.Pix[i+2])
+
+			// Foreground = anything meaningfully brighter than background.
+			if r+g+b > 3*int(backgroundColor.R)+60 {
+				fx, fy := float64(x), float64(y)
+				minX = math.Min(minX, fx)
+				minY = math.Min(minY, fy)
+				maxX = math.Max(maxX, fx)
+				maxY = math.Max(maxY, fy)
+				foreground++
+			}
+
+			best, bestDist := -1, markerMatchThreshold*markerMatchThreshold+1
+			for k, mc := range markerColors {
+				dr := r - int(mc.R)
+				dg := g - int(mc.G)
+				db := b - int(mc.B)
+				d := dr*dr + dg*dg + db*db
+				if d < bestDist {
+					best, bestDist = k, d
+				}
+			}
+			labels[y*w+x] = int8(best)
+		}
+	}
+
+	// Pass 2: accumulate centroids over *core* pixels only — pixels whose
+	// four neighbours carry the same label. Compression blurs marker edges
+	// into colors that can fall near a different palette entry; interiors
+	// survive, so eroding by one pixel rejects the contamination.
+	var sumX, sumY [NumKeypoints]float64
+	var count [NumKeypoints]int
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			i := y*w + x
+			k := labels[i]
+			if k < 0 {
+				continue
+			}
+			if labels[i-1] != k || labels[i+1] != k || labels[i-w] != k || labels[i+w] != k {
+				continue
+			}
+			sumX[k] += float64(x)
+			sumY[k] += float64(y)
+			count[k]++
+		}
+	}
+
+	var p Pose
+	found := 0
+	for k := 0; k < NumKeypoints; k++ {
+		if count[k] > 0 {
+			p.Keypoints[k] = Point{X: sumX[k] / float64(count[k]), Y: sumY[k] / float64(count[k])}
+			found++
+		}
+	}
+	if found < NumKeypoints/2 || foreground == 0 {
+		return Pose{}, false
+	}
+	// Fill any missed keypoints with the box center so downstream feature
+	// vectors stay well-formed.
+	p.Box = Box{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+	center := p.Box.Center()
+	for k := 0; k < NumKeypoints; k++ {
+		if count[k] == 0 {
+			p.Keypoints[k] = center
+		}
+	}
+	p.Score = float64(found) / NumKeypoints
+	return p, true
+}
+
+// DetectPersonBox reports only the foreground bounding box, for services
+// that need presence detection without full pose recovery.
+func DetectPersonBox(f *frame.Frame) (Box, bool) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	foreground := 0
+	for y := 0; y < f.Height; y++ {
+		for x := 0; x < f.Width; x++ {
+			i := (y*f.Width + x) * 4
+			if int(f.Pix[i])+int(f.Pix[i+1])+int(f.Pix[i+2]) > 3*int(backgroundColor.R)+60 {
+				fx, fy := float64(x), float64(y)
+				minX = math.Min(minX, fx)
+				minY = math.Min(minY, fy)
+				maxX = math.Max(maxX, fx)
+				maxY = math.Max(maxY, fy)
+				foreground++
+			}
+		}
+	}
+	if foreground < 10 {
+		return Box{}, false
+	}
+	return Box{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}, true
+}

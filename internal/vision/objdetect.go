@@ -1,0 +1,192 @@
+package vision
+
+import (
+	"image/color"
+	"sort"
+
+	"videopipe/internal/frame"
+)
+
+// Detection is one detected object: a bounding box, a class label and a
+// confidence score.
+type Detection struct {
+	Label string
+	Box   Box
+	Score float64
+}
+
+// objectClasses maps the distinctive colors of synthetic scene objects to
+// class labels. Scenes rendered for the object-detection service draw
+// household objects as colored shapes; detection is connected-component
+// analysis over these classes.
+var objectClasses = []struct {
+	name  string
+	color color.RGBA
+}{
+	{"person", color.RGBA{R: 224, G: 180, B: 150, A: 255}},
+	{"chair", color.RGBA{R: 150, G: 75, B: 0, A: 255}},
+	{"bottle", color.RGBA{R: 0, G: 180, B: 60, A: 255}},
+	{"tv", color.RGBA{R: 40, G: 40, B: 200, A: 255}},
+	{"cup", color.RGBA{R: 220, G: 40, B: 180, A: 255}},
+	{"book", color.RGBA{R: 230, G: 220, B: 40, A: 255}},
+}
+
+// objectMatchThreshold is the max RGB distance for a pixel to belong to an
+// object class.
+const objectMatchThreshold = 55
+
+// minObjectPixels suppresses speckle detections.
+const minObjectPixels = 12
+
+// ObjectClassNames lists the labels the detector can produce.
+func ObjectClassNames() []string {
+	out := make([]string, len(objectClasses))
+	for i, oc := range objectClasses {
+		out[i] = oc.name
+	}
+	return out
+}
+
+// ObjectColor returns the canonical render color for a class, for scene
+// generators; ok is false for unknown labels.
+func ObjectColor(label string) (color.RGBA, bool) {
+	for _, oc := range objectClasses {
+		if oc.name == label {
+			return oc.color, true
+		}
+	}
+	return color.RGBA{}, false
+}
+
+// DetectObjects finds all objects in a frame by connected-component
+// analysis over class-colored pixels (4-connectivity, union-find).
+func DetectObjects(f *frame.Frame) []Detection {
+	w, h := f.Width, f.Height
+	classOf := make([]int8, w*h)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pi := (y*w + x) * 4
+			r := int(f.Pix[pi])
+			g := int(f.Pix[pi+1])
+			b := int(f.Pix[pi+2])
+			best, bestDist := -1, objectMatchThreshold*objectMatchThreshold+1
+			for k, oc := range objectClasses {
+				dr := r - int(oc.color.R)
+				dg := g - int(oc.color.G)
+				db := b - int(oc.color.B)
+				if d := dr*dr + dg*dg + db*db; d < bestDist {
+					best, bestDist = k, d
+				}
+			}
+			if best >= 0 {
+				classOf[y*w+x] = int8(best)
+			}
+		}
+	}
+
+	// Union-find over same-class 4-neighbours.
+	parent := make([]int32, w*h)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(i int32) int32
+	find = func(i int32) int32 {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if classOf[i] < 0 {
+				continue
+			}
+			if x+1 < w && classOf[i+1] == classOf[i] {
+				union(int32(i), int32(i+1))
+			}
+			if y+1 < h && classOf[i+w] == classOf[i] {
+				union(int32(i), int32(i+w))
+			}
+		}
+	}
+
+	type comp struct {
+		class                  int8
+		count                  int
+		minX, minY, maxX, maxY int
+	}
+	comps := make(map[int32]*comp)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			if classOf[i] < 0 {
+				continue
+			}
+			root := find(int32(i))
+			c, ok := comps[root]
+			if !ok {
+				c = &comp{class: classOf[i], minX: x, minY: y, maxX: x, maxY: y}
+				comps[root] = c
+			}
+			c.count++
+			if x < c.minX {
+				c.minX = x
+			}
+			if y < c.minY {
+				c.minY = y
+			}
+			if x > c.maxX {
+				c.maxX = x
+			}
+			if y > c.maxY {
+				c.maxY = y
+			}
+		}
+	}
+
+	var out []Detection
+	for _, c := range comps {
+		if c.count < minObjectPixels {
+			continue
+		}
+		area := (c.maxX - c.minX + 1) * (c.maxY - c.minY + 1)
+		score := float64(c.count) / float64(area) // fill ratio as confidence
+		if score > 1 {
+			score = 1
+		}
+		out = append(out, Detection{
+			Label: objectClasses[c.class].name,
+			Box:   Box{MinX: float64(c.minX), MinY: float64(c.minY), MaxX: float64(c.maxX), MaxY: float64(c.maxY)},
+			Score: score,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Box.MinY != out[j].Box.MinY {
+			return out[i].Box.MinY < out[j].Box.MinY
+		}
+		return out[i].Box.MinX < out[j].Box.MinX
+	})
+	return out
+}
+
+// DrawObject renders a class-colored rectangle into a frame, for building
+// synthetic object-detection scenes.
+func DrawObject(f *frame.Frame, label string, x0, y0, x1, y1 int) bool {
+	c, ok := ObjectColor(label)
+	if !ok {
+		return false
+	}
+	f.DrawRect(x0, y0, x1, y1, c)
+	return true
+}

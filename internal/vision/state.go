@@ -1,0 +1,129 @@
+package vision
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// State serialization for the algorithms that back *stateless* services.
+// The paper's services "receive needed data as input so they do not require
+// saving state" (§2.2): the module owns the state blob and passes it with
+// every call; the service returns the updated blob. These marshallers are
+// that blob.
+
+// repCounterState is the wire form of a RepCounter.
+type repCounterState struct {
+	Debounce     int         `json:"debounce"`
+	Calibration  int         `json:"calibration"`
+	Buf          [][]float64 `json:"buf,omitempty"`
+	Centroid0    []float64   `json:"c0,omitempty"`
+	Centroid1    []float64   `json:"c1,omitempty"`
+	Fitted       bool        `json:"fitted"`
+	InitialState int         `json:"initial_state"`
+	State        int         `json:"state"`
+	PendingState int         `json:"pending_state"`
+	PendingCount int         `json:"pending_count"`
+	LeftInitial  bool        `json:"left_initial"`
+	Reps         int         `json:"reps"`
+	FramesSeen   int         `json:"frames_seen"`
+}
+
+// MarshalState serializes the counter for stateless service round trips.
+func (rc *RepCounter) MarshalState() ([]byte, error) {
+	st := repCounterState{
+		Debounce:     rc.debounce,
+		Calibration:  rc.calibration,
+		Buf:          rc.buf,
+		Centroid0:    rc.centroids[0],
+		Centroid1:    rc.centroids[1],
+		Fitted:       rc.fitted,
+		InitialState: rc.initialState,
+		State:        rc.state,
+		PendingState: rc.pendingState,
+		PendingCount: rc.pendingCount,
+		LeftInitial:  rc.leftInitial,
+		Reps:         rc.reps,
+		FramesSeen:   rc.framesSeen,
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("vision: marshal rep counter: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreRepCounter reconstructs a counter from MarshalState output. Empty
+// input yields a fresh default counter.
+func RestoreRepCounter(data []byte) (*RepCounter, error) {
+	if len(data) == 0 {
+		return NewRepCounter(0, 0), nil
+	}
+	var st repCounterState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("vision: restore rep counter: %w", err)
+	}
+	rc := NewRepCounter(st.Debounce, st.Calibration)
+	rc.buf = st.Buf
+	rc.centroids[0] = st.Centroid0
+	rc.centroids[1] = st.Centroid1
+	rc.fitted = st.Fitted
+	rc.initialState = st.InitialState
+	rc.state = st.State
+	rc.pendingState = st.PendingState
+	rc.pendingCount = st.PendingCount
+	rc.leftInitial = st.LeftInitial
+	rc.reps = st.Reps
+	rc.framesSeen = st.FramesSeen
+	if rc.fitted && (len(rc.centroids[0]) == 0 || len(rc.centroids[1]) == 0) {
+		return nil, fmt.Errorf("vision: restore rep counter: fitted state missing centroids")
+	}
+	return rc, nil
+}
+
+// fallDetectorState is the wire form of a FallDetector.
+type fallDetectorState struct {
+	BaselineHipY float64 `json:"baseline_hip_y"`
+	TorsoLen     float64 `json:"torso_len"`
+	Samples      int     `json:"samples"`
+	DownStreak   int     `json:"down_streak"`
+	Fallen       bool    `json:"fallen"`
+}
+
+// MarshalState serializes the detector for stateless service round trips.
+func (d *FallDetector) MarshalState() ([]byte, error) {
+	st := fallDetectorState{
+		BaselineHipY: d.baselineHipY,
+		TorsoLen:     d.torsoLen,
+		Samples:      d.samples,
+		DownStreak:   d.downStreak,
+		Fallen:       d.fallen,
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("vision: marshal fall detector: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreFallDetector reconstructs a detector from MarshalState output.
+// Empty input yields a fresh detector.
+func RestoreFallDetector(data []byte) (*FallDetector, error) {
+	d := NewFallDetector()
+	if len(data) == 0 {
+		return d, nil
+	}
+	var st fallDetectorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("vision: restore fall detector: %w", err)
+	}
+	if math.IsNaN(st.BaselineHipY) || math.IsNaN(st.TorsoLen) {
+		return nil, fmt.Errorf("vision: restore fall detector: NaN state")
+	}
+	d.baselineHipY = st.BaselineHipY
+	d.torsoLen = st.TorsoLen
+	d.samples = st.Samples
+	d.downStreak = st.DownStreak
+	d.fallen = st.Fallen
+	return d, nil
+}

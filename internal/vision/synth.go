@@ -1,0 +1,295 @@
+package vision
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activity enumerates the motions the applications recognize: the fitness
+// exercises (§4.1), the IoT gestures (§4.2) and falling (§4.3). Idle is the
+// rest state.
+type Activity int
+
+// Activities. Enums start at one; the zero value is invalid.
+const (
+	Idle Activity = iota + 1
+	Squat
+	JumpingJack
+	OverheadPress
+	Lunge
+	Wave
+	Clap
+	Fall
+)
+
+// Exercises are the activities the fitness application counts reps for.
+var Exercises = []Activity{Squat, JumpingJack, OverheadPress, Lunge}
+
+// Gestures are the activities the IoT control application recognizes.
+var Gestures = []Activity{Wave, Clap, Idle}
+
+// AllActivities lists every synthesizable activity.
+var AllActivities = []Activity{Idle, Squat, JumpingJack, OverheadPress, Lunge, Wave, Clap, Fall}
+
+// String renders the activity name used in labels and service responses.
+func (a Activity) String() string {
+	switch a {
+	case Idle:
+		return "idle"
+	case Squat:
+		return "squat"
+	case JumpingJack:
+		return "jumping_jack"
+	case OverheadPress:
+		return "overhead_press"
+	case Lunge:
+		return "lunge"
+	case Wave:
+		return "wave"
+	case Clap:
+		return "clap"
+	case Fall:
+		return "fall"
+	default:
+		return fmt.Sprintf("Activity(%d)", int(a))
+	}
+}
+
+// ParseActivity inverts String.
+func ParseActivity(s string) (Activity, error) {
+	for _, a := range AllActivities {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("vision: unknown activity %q", s)
+}
+
+// Subject parameterizes the synthetic human: where they stand, how large
+// they appear, and how noisy the keypoints are. The paper notes its high
+// recognition accuracy comes from a standardized viewing distance and
+// angle; Subject models per-user variation around that standard setup.
+type Subject struct {
+	// CenterX, CenterY locate the hip center at rest, in pixels.
+	CenterX, CenterY float64
+	// Scale is the torso length in pixels (shoulder line to hip line).
+	Scale float64
+	// Noise is the per-keypoint Gaussian jitter in pixels.
+	Noise float64
+	// Phase0 offsets the rep cycle start.
+	Phase0 float64
+}
+
+// DefaultSubject matches the paper's standardized setup: centered in a
+// 640x480 frame at a fixed distance.
+func DefaultSubject() Subject {
+	return Subject{CenterX: 320, CenterY: 260, Scale: 80, Noise: 1.5}
+}
+
+// SynthesizePose produces the pose for an activity at rep-cycle phase
+// p ∈ [0, 1). For Fall, p is progress through the (non-cyclic) fall.
+func SynthesizePose(a Activity, p float64, s Subject, rng *rand.Rand) Pose {
+	p = p - math.Floor(p)
+	sk := restSkeleton(s)
+	c := 0.5 * (1 - math.Cos(2*math.Pi*p)) // smooth 0→1→0 over the cycle
+
+	switch a {
+	case Idle:
+		// Subtle sway only.
+		sk.leanX = 0.02 * s.Scale * math.Sin(2*math.Pi*p)
+	case Squat:
+		drop := 0.55 * s.Scale * c
+		sk.hipY += drop
+		sk.kneeSpread += 0.25 * s.Scale * c
+		sk.ankleY = sk.restAnkleY // feet planted
+		// Arms extend forward (to the side in 2D) for balance.
+		sk.armAngleL = lerp(armDown, math.Pi/2.1, c)
+		sk.armAngleR = lerp(armDown, math.Pi/2.1, c)
+	case JumpingJack:
+		// Arms sweep from down to overhead, legs spread.
+		sk.armAngleL = lerp(armDown, armUp, c)
+		sk.armAngleR = lerp(armDown, armUp, c)
+		sk.legSpread = 0.45 * s.Scale * c
+		sk.hipY -= 0.08 * s.Scale * c // slight airborne rise
+	case OverheadPress:
+		// Wrists from shoulders to overhead; elbows track.
+		sk.armAngleL = lerp(math.Pi/2, armUp, c)
+		sk.armAngleR = lerp(math.Pi/2, armUp, c)
+		sk.armBend = lerp(0.9, 0.05, c)
+	case Lunge:
+		sk.hipY += 0.35 * s.Scale * c
+		sk.legForward = 0.5 * s.Scale * c // one leg steps forward (to +x)
+		sk.armAngleL = armDown
+		sk.armAngleR = armDown
+	case Wave:
+		// Right arm up, forearm oscillating; multiple oscillations per cycle.
+		sk.armAngleR = armUp - 0.15
+		sk.wristSwingR = 0.35 * s.Scale * math.Sin(2*math.Pi*3*p)
+		sk.armAngleL = armDown
+	case Clap:
+		// Both wrists meet at chest level and part.
+		sk.armAngleL = math.Pi / 2.4
+		sk.armAngleR = math.Pi / 2.4
+		sk.clapClose = c
+	case Fall:
+		// Torso rotates to horizontal and body lowers; non-cyclic.
+		fall := math.Min(p*1.2, 1)
+		sk.torsoTilt = fall * math.Pi / 2 * 0.95
+		sk.hipY += 0.9 * s.Scale * fall
+	}
+
+	pose := sk.forward(s)
+	if s.Noise > 0 && rng != nil {
+		for i := range pose.Keypoints {
+			pose.Keypoints[i].X += rng.NormFloat64() * s.Noise
+			pose.Keypoints[i].Y += rng.NormFloat64() * s.Noise
+		}
+	}
+	pose.Box = pose.BoundingBox(0.15 * s.Scale)
+	pose.Score = 0.97
+	return pose
+}
+
+// Arm angle conventions: measured at the shoulder from straight-down.
+const (
+	armDown = 0.25           // slightly away from the body
+	armUp   = math.Pi - 0.15 // nearly straight overhead
+)
+
+// skeleton holds the articulated state before forward kinematics.
+type skeleton struct {
+	hipY        float64 // hip center vertical position (pixels)
+	restAnkleY  float64
+	ankleY      float64
+	leanX       float64
+	torsoTilt   float64 // radians from vertical
+	kneeSpread  float64
+	legSpread   float64
+	legForward  float64
+	armAngleL   float64
+	armAngleR   float64
+	armBend     float64 // 0 = straight, 1 = fully bent elbow
+	wristSwingR float64
+	clapClose   float64 // 0 = apart, 1 = hands together
+}
+
+func restSkeleton(s Subject) skeleton {
+	return skeleton{
+		hipY:       s.CenterY,
+		restAnkleY: s.CenterY + 1.7*s.Scale,
+		ankleY:     s.CenterY + 1.7*s.Scale,
+		armAngleL:  armDown,
+		armAngleR:  armDown,
+		armBend:    0.15,
+	}
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// forward computes keypoint positions from the skeleton state.
+func (sk skeleton) forward(s Subject) Pose {
+	var p Pose
+	hipW := 0.42 * s.Scale
+	shW := 0.55 * s.Scale
+	upperArm := 0.55 * s.Scale
+	foreArm := 0.5 * s.Scale
+	thigh := 0.85 * s.Scale
+	shin := 0.8 * s.Scale
+	headR := 0.22 * s.Scale
+
+	hx := s.CenterX + sk.leanX
+	hy := sk.hipY
+	// Torso direction (unit vector pointing from hips toward shoulders).
+	tux := math.Sin(sk.torsoTilt)
+	tuy := -math.Cos(sk.torsoTilt)
+	// Perpendicular (shoulder line direction).
+	pux := -tuy
+	puy := tux
+
+	shCx := hx + tux*s.Scale
+	shCy := hy + tuy*s.Scale
+
+	p.Keypoints[LeftHip] = Point{X: hx - pux*hipW/2, Y: hy - puy*hipW/2}
+	p.Keypoints[RightHip] = Point{X: hx + pux*hipW/2, Y: hy + puy*hipW/2}
+	p.Keypoints[LeftShoulder] = Point{X: shCx - pux*shW/2, Y: shCy - puy*shW/2}
+	p.Keypoints[RightShoulder] = Point{X: shCx + pux*shW/2, Y: shCy + puy*shW/2}
+
+	// Head.
+	noseX := shCx + tux*headR*2.2
+	noseY := shCy + tuy*headR*2.2
+	p.Keypoints[Nose] = Point{X: noseX, Y: noseY}
+	p.Keypoints[LeftEye] = Point{X: noseX - pux*headR*0.4, Y: noseY + tuy*headR*0.3}
+	p.Keypoints[RightEye] = Point{X: noseX + pux*headR*0.4, Y: noseY + tuy*headR*0.3}
+	p.Keypoints[LeftEar] = Point{X: noseX - pux*headR*0.9, Y: noseY + tuy*headR*0.1}
+	p.Keypoints[RightEar] = Point{X: noseX + pux*headR*0.9, Y: noseY + tuy*headR*0.1}
+
+	// Arms. Shoulder angle measured from "straight down along the torso".
+	arm := func(shoulder Point, angle float64, side float64, bend float64, wristSwing float64, clap float64) (Point, Point) {
+		// Rotate the down-the-torso direction by angle, outward per side.
+		dx := -tux*math.Cos(angle) + pux*side*math.Sin(angle)
+		dy := -tuy*math.Cos(angle) + puy*side*math.Sin(angle)
+		elbow := Point{X: shoulder.X + dx*upperArm, Y: shoulder.Y + dy*upperArm}
+		// Forearm continues, bent toward the torso by bend.
+		fx := dx*(1-bend) + tux*bend
+		fy := dy*(1-bend) + tuy*bend
+		norm := math.Hypot(fx, fy)
+		if norm < 1e-9 {
+			norm = 1
+		}
+		wrist := Point{X: elbow.X + fx/norm*foreArm + wristSwing, Y: elbow.Y + fy/norm*foreArm}
+		if clap > 0 {
+			// Pull the wrist toward the chest midline.
+			chest := Point{X: shCx + tux*0.3*s.Scale, Y: shCy + tuy*0.3*s.Scale}
+			wrist.X = lerp(wrist.X, chest.X, clap)
+			wrist.Y = lerp(wrist.Y, chest.Y, clap)
+		}
+		return elbow, wrist
+	}
+	le, lw := arm(p.Keypoints[LeftShoulder], sk.armAngleL, -1, sk.armBend, 0, sk.clapClose)
+	re, rw := arm(p.Keypoints[RightShoulder], sk.armAngleR, 1, sk.armBend, sk.wristSwingR, sk.clapClose)
+	p.Keypoints[LeftElbow], p.Keypoints[LeftWrist] = le, lw
+	p.Keypoints[RightElbow], p.Keypoints[RightWrist] = re, rw
+
+	// Legs: ankles anchored near the ground; knees between hip and ankle,
+	// bulging outward when bent.
+	legLen := thigh + shin
+	leg := func(hip Point, side float64, forward float64) (Point, Point) {
+		ankle := Point{
+			X: hip.X + side*sk.legSpread + forward,
+			Y: math.Min(sk.ankleY, hip.Y+legLen),
+		}
+		midX := (hip.X + ankle.X) / 2
+		midY := (hip.Y + ankle.Y) / 2
+		// Knee bulge grows as hip-to-ankle distance shrinks below leg length.
+		d := hip.Dist(ankle)
+		bend := math.Sqrt(math.Max(legLen*legLen-d*d, 0)) / 2
+		knee := Point{X: midX + side*(bend+sk.kneeSpread), Y: midY}
+		return knee, ankle
+	}
+	lk, la := leg(p.Keypoints[LeftHip], -1, 0)
+	rk, ra := leg(p.Keypoints[RightHip], 1, sk.legForward)
+	p.Keypoints[LeftKnee], p.Keypoints[LeftAnkle] = lk, la
+	p.Keypoints[RightKnee], p.Keypoints[RightAnkle] = rk, ra
+
+	return p
+}
+
+// SynthesizeSequence generates n consecutive poses of an activity sampled
+// at fps with the given rep rate (reps per second). The returned phases
+// slice reports each frame's cycle phase, useful for ground-truth rep
+// counting.
+func SynthesizeSequence(a Activity, n int, fps, repRate float64, s Subject, rng *rand.Rand) ([]Pose, []float64) {
+	poses := make([]Pose, n)
+	phases := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / fps
+		p := s.Phase0 + t*repRate
+		if a == Fall {
+			p = math.Min(t*repRate, 0.999) // non-cyclic
+		}
+		poses[i] = SynthesizePose(a, p-math.Floor(p), s, rng)
+		phases[i] = p
+	}
+	return poses, phases
+}

@@ -1,0 +1,173 @@
+// Package wire is VideoPipe's messaging layer, a from-scratch substitute for
+// ZeroMQ built on the standard library.
+//
+// It provides brokerless, asynchronous, multipart message transfer between
+// pipeline components, replicating the ZeroMQ facilities the paper relies on
+// (§3.2): endpoint strings in the Listing-1 grammar ("bind#tcp://*:5861",
+// "connect#tcp://desktop:5861"), length-prefixed multipart framing, PUSH/PULL
+// one-way sockets for the module data path, and a multiplexed caller/responder
+// pair (DEALER/ROUTER-style) for service calls. Sockets reconnect
+// automatically and carry no broker hop — the paper's argument against
+// Kafka/RabbitMQ-style brokers is that the extra forwarding hop adds delay.
+//
+// The layer is transport-agnostic: it runs over real TCP or over the
+// netsim package's shaped in-memory fabric via the Transport interface.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxMessageSize bounds a single encoded message, protecting receivers from
+// hostile or corrupt length prefixes. Video frames at home resolutions fit
+// comfortably.
+const MaxMessageSize = 64 << 20
+
+// Message is a multipart message, the unit of transfer. Parts are opaque
+// byte slices; by convention the first part carries routing or type
+// information and later parts carry payloads.
+type Message struct {
+	Parts [][]byte
+}
+
+// NewMessage builds a message from the given parts. The slices are used
+// directly; callers must not mutate them after sending.
+func NewMessage(parts ...[]byte) Message { return Message{Parts: parts} }
+
+// StringMessage builds a message whose parts are the given strings.
+func StringMessage(parts ...string) Message {
+	m := Message{Parts: make([][]byte, len(parts))}
+	for i, p := range parts {
+		m.Parts[i] = []byte(p)
+	}
+	return m
+}
+
+// Part returns part i, or nil when out of range.
+func (m Message) Part(i int) []byte {
+	if i < 0 || i >= len(m.Parts) {
+		return nil
+	}
+	return m.Parts[i]
+}
+
+// StringPart returns part i as a string, or "" when out of range.
+func (m Message) StringPart(i int) string { return string(m.Part(i)) }
+
+// Len reports the number of parts.
+func (m Message) Len() int { return len(m.Parts) }
+
+// Size reports the total payload bytes across all parts.
+func (m Message) Size() int {
+	n := 0
+	for _, p := range m.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Clone deep-copies the message so the original buffers can be reused.
+func (m Message) Clone() Message {
+	out := Message{Parts: make([][]byte, len(m.Parts))}
+	for i, p := range m.Parts {
+		c := make([]byte, len(p))
+		copy(c, p)
+		out.Parts[i] = c
+	}
+	return out
+}
+
+// errMessageTooLarge reports an encoded message exceeding MaxMessageSize.
+var errMessageTooLarge = errors.New("wire: message exceeds size limit")
+
+// encodedSize reports the on-wire size of the message body (excluding the
+// 4-byte outer length prefix).
+func (m Message) encodedSize() int {
+	n := uvarintLen(uint64(len(m.Parts)))
+	for _, p := range m.Parts {
+		n += uvarintLen(uint64(len(p))) + len(p)
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// WriteMessage encodes m to w as a single length-prefixed record:
+//
+//	[4-byte big-endian body length][uvarint part count]{[uvarint len][bytes]}*
+func WriteMessage(w io.Writer, m Message) error {
+	body := m.encodedSize()
+	if body > MaxMessageSize {
+		return errMessageTooLarge
+	}
+	buf := make([]byte, 0, 4+body)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(body))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Parts)))
+	for _, p := range m.Parts {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	_, err := w.Write(buf)
+	if err != nil {
+		return fmt.Errorf("wire: write message: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage decodes one message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("wire: read header: %w", err)
+	}
+	body := binary.BigEndian.Uint32(hdr[:])
+	if body > MaxMessageSize {
+		return Message{}, errMessageTooLarge
+	}
+	buf := make([]byte, body)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Message{}, fmt.Errorf("wire: read body: %w", err)
+	}
+	return decodeBody(buf)
+}
+
+func decodeBody(buf []byte) (Message, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return Message{}, errors.New("wire: corrupt part count")
+	}
+	buf = buf[n:]
+	if count > uint64(len(buf))+1 {
+		return Message{}, errors.New("wire: implausible part count")
+	}
+	m := Message{Parts: make([][]byte, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		plen, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return Message{}, errors.New("wire: corrupt part length")
+		}
+		buf = buf[n:]
+		if plen > uint64(len(buf)) {
+			return Message{}, errors.New("wire: part overruns body")
+		}
+		m.Parts = append(m.Parts, buf[:plen:plen])
+		buf = buf[plen:]
+	}
+	if len(buf) != 0 {
+		return Message{}, errors.New("wire: trailing bytes after parts")
+	}
+	return m, nil
+}

@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"sync"
+)
+
+// Pub/Sub completes the ZeroMQ socket patterns the paper's platform builds
+// on: a Pub socket binds and broadcasts topic-tagged messages to every
+// connected Sub; each Sub subscribes to topic prefixes and receives only
+// matching messages. VideoPipe uses this for cluster telemetry fan-out
+// (monitor reports); it follows ZeroMQ semantics — no broker, slow
+// subscribers drop rather than exerting backpressure on the publisher, and
+// subscribers joining late miss earlier messages.
+
+// Pub is the broadcasting side.
+type Pub struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	subs   map[*pubSub]struct{}
+	closed bool
+}
+
+// pubSub is one connected subscriber as seen by the publisher.
+type pubSub struct {
+	conn net.Conn
+	out  chan Message
+	done chan struct{}
+}
+
+// subscriberBuffer bounds undelivered messages per subscriber; overflow is
+// dropped (ZeroMQ's high-water-mark behaviour).
+const subscriberBuffer = 16
+
+// ListenPub binds a publisher at port (0 = ephemeral).
+func ListenPub(t Transport, port int) (*Pub, error) {
+	ln, err := t.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pub{ln: ln, subs: make(map[*pubSub]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr reports the bound address.
+func (p *Pub) Addr() net.Addr { return p.ln.Addr() }
+
+func (p *Pub) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		s := &pubSub{conn: conn, out: make(chan Message, subscriberBuffer), done: make(chan struct{})}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.subs[s] = struct{}{}
+		p.mu.Unlock()
+		go p.writeLoop(s)
+	}
+}
+
+func (p *Pub) writeLoop(s *pubSub) {
+	defer func() {
+		s.conn.Close()
+		p.mu.Lock()
+		delete(p.subs, s)
+		p.mu.Unlock()
+	}()
+	for {
+		select {
+		case m := <-s.out:
+			if err := WriteMessage(s.conn, m); err != nil {
+				return
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Publish broadcasts a message under a topic. Subscribers whose buffers
+// are full miss it (no backpressure on the publisher). Publishing on a
+// closed socket returns ErrClosed.
+func (p *Pub) Publish(topic string, m Message) error {
+	framed := Message{Parts: append([][]byte{[]byte(topic)}, m.Parts...)}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	for s := range p.subs {
+		select {
+		case s.out <- framed:
+		default: // slow subscriber: drop
+		}
+	}
+	return nil
+}
+
+// Subscribers reports the number of connected subscribers.
+func (p *Pub) Subscribers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs)
+}
+
+// Close stops the publisher and disconnects subscribers.
+func (p *Pub) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for s := range p.subs {
+		close(s.done)
+	}
+	p.subs = make(map[*pubSub]struct{})
+	p.mu.Unlock()
+	return p.ln.Close()
+}
+
+// Sub is the receiving side: it connects to a publisher and receives
+// messages matching its topic-prefix subscriptions.
+type Sub struct {
+	conn  net.Conn
+	msgs  chan Message
+	done  chan struct{}
+	close sync.Once
+
+	mu     sync.Mutex
+	topics [][]byte
+}
+
+// DialSub connects to a publisher and subscribes to the given topic
+// prefixes. An empty topic list (or the empty topic "") receives
+// everything.
+func DialSub(t Transport, address string, topics ...string) (*Sub, error) {
+	conn, err := t.Dial(address)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sub{
+		conn: conn,
+		msgs: make(chan Message, subscriberBuffer),
+		done: make(chan struct{}),
+	}
+	for _, topic := range topics {
+		s.topics = append(s.topics, []byte(topic))
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+func (s *Sub) readLoop() {
+	defer s.conn.Close()
+	for {
+		m, err := ReadMessage(s.conn)
+		if err != nil {
+			return
+		}
+		if m.Len() < 1 || !s.matches(m.Part(0)) {
+			continue
+		}
+		select {
+		case s.msgs <- m:
+		case <-s.done:
+			return
+		default: // local consumer too slow: drop, like ZeroMQ
+		}
+	}
+}
+
+func (s *Sub) matches(topic []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.topics) == 0 {
+		return true
+	}
+	for _, prefix := range s.topics {
+		if bytes.HasPrefix(topic, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Subscribe adds a topic prefix at runtime.
+func (s *Sub) Subscribe(topic string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.topics = append(s.topics, []byte(topic))
+}
+
+// Recv returns the next matching message; its first part is the topic.
+func (s *Sub) Recv(ctx context.Context) (Message, error) {
+	select {
+	case m := <-s.msgs:
+		return m, nil
+	case <-s.done:
+		return Message{}, ErrClosed
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Close disconnects the subscriber.
+func (s *Sub) Close() error {
+	s.close.Do(func() {
+		close(s.done)
+		s.conn.Close()
+	})
+	return nil
+}

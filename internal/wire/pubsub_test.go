@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// waitSubscribers blocks until the publisher sees n subscribers.
+func waitSubscribers(t *testing.T, p *Pub, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Subscribers() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("publisher never saw %d subscribers", n)
+}
+
+func TestPubSubBasicDelivery(t *testing.T) {
+	nw := testNet()
+	pub, err := ListenPub(nw.Host("desktop"), 0)
+	if err != nil {
+		t.Fatalf("ListenPub: %v", err)
+	}
+	defer pub.Close()
+
+	sub, err := DialSub(nw.Host("tv"), pub.Addr().String(), "telemetry")
+	if err != nil {
+		t.Fatalf("DialSub: %v", err)
+	}
+	defer sub.Close()
+	waitSubscribers(t, pub, 1)
+
+	if err := pub.Publish("telemetry", StringMessage("cpu", "42")); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	m, err := sub.Recv(context.Background())
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.StringPart(0) != "telemetry" || m.StringPart(1) != "cpu" || m.StringPart(2) != "42" {
+		t.Errorf("Recv = %v", m.Parts)
+	}
+}
+
+func TestSubTopicFiltering(t *testing.T) {
+	nw := testNet()
+	pub, _ := ListenPub(nw.Host("desktop"), 0)
+	defer pub.Close()
+	sub, _ := DialSub(nw.Host("tv"), pub.Addr().String(), "alerts.")
+	defer sub.Close()
+	waitSubscribers(t, pub, 1)
+
+	pub.Publish("metrics.cpu", StringMessage("ignored"))
+	pub.Publish("alerts.fall", StringMessage("fall detected"))
+	pub.Publish("metrics.mem", StringMessage("ignored too"))
+
+	m, err := sub.Recv(context.Background())
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.StringPart(0) != "alerts.fall" {
+		t.Errorf("filter leaked topic %q", m.StringPart(0))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := sub.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("non-matching topics delivered: %v", err)
+	}
+}
+
+func TestSubEmptyTopicReceivesAll(t *testing.T) {
+	nw := testNet()
+	pub, _ := ListenPub(nw.Host("desktop"), 0)
+	defer pub.Close()
+	sub, _ := DialSub(nw.Host("tv"), pub.Addr().String())
+	defer sub.Close()
+	waitSubscribers(t, pub, 1)
+
+	for i := 0; i < 3; i++ {
+		pub.Publish(fmt.Sprintf("topic%d", i), StringMessage("x"))
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sub.Recv(context.Background()); err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+	}
+}
+
+func TestPubFanOutToMultipleSubscribers(t *testing.T) {
+	nw := testNet()
+	pub, _ := ListenPub(nw.Host("desktop"), 0)
+	defer pub.Close()
+
+	const n = 4
+	subs := make([]*Sub, n)
+	for i := range subs {
+		s, err := DialSub(nw.Host(fmt.Sprintf("dev%d", i)), pub.Addr().String())
+		if err != nil {
+			t.Fatalf("DialSub %d: %v", i, err)
+		}
+		defer s.Close()
+		subs[i] = s
+	}
+	waitSubscribers(t, pub, n)
+
+	pub.Publish("t", StringMessage("broadcast"))
+	for i, s := range subs {
+		m, err := s.Recv(context.Background())
+		if err != nil || m.StringPart(1) != "broadcast" {
+			t.Errorf("subscriber %d: %v, %v", i, m.Parts, err)
+		}
+	}
+}
+
+func TestSubRuntimeSubscribe(t *testing.T) {
+	nw := testNet()
+	pub, _ := ListenPub(nw.Host("desktop"), 0)
+	defer pub.Close()
+	sub, _ := DialSub(nw.Host("tv"), pub.Addr().String(), "never-matches")
+	defer sub.Close()
+	waitSubscribers(t, pub, 1)
+
+	sub.Subscribe("extra")
+	pub.Publish("extra.topic", StringMessage("late subscription"))
+	m, err := sub.Recv(context.Background())
+	if err != nil || m.StringPart(0) != "extra.topic" {
+		t.Errorf("runtime subscribe: %v, %v", m.Parts, err)
+	}
+}
+
+func TestSlowSubscriberDropsInsteadOfBlocking(t *testing.T) {
+	nw := testNet()
+	pub, _ := ListenPub(nw.Host("desktop"), 0)
+	defer pub.Close()
+	sub, _ := DialSub(nw.Host("tv"), pub.Addr().String())
+	defer sub.Close()
+	waitSubscribers(t, pub, 1)
+
+	// Flood far beyond the buffer without consuming; Publish must never
+	// block.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			pub.Publish("flood", StringMessage(fmt.Sprint(i)))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	// Some messages arrive; many were dropped. Drain what's there.
+	got := 0
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		_, err := sub.Recv(ctx)
+		cancel()
+		if err != nil {
+			break
+		}
+		got++
+	}
+	if got == 0 {
+		t.Error("slow subscriber received nothing at all")
+	}
+	if got >= 500 {
+		t.Error("no drops despite unconsumed flood — backpressure leaked to publisher")
+	}
+}
+
+func TestPublishAfterCloseFails(t *testing.T) {
+	nw := testNet()
+	pub, _ := ListenPub(nw.Host("desktop"), 0)
+	pub.Close()
+	if err := pub.Publish("t", StringMessage("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Publish after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSubRecvAfterClose(t *testing.T) {
+	nw := testNet()
+	pub, _ := ListenPub(nw.Host("desktop"), 0)
+	defer pub.Close()
+	sub, _ := DialSub(nw.Host("tv"), pub.Addr().String())
+	sub.Close()
+	if _, err := sub.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestLateSubscriberMissesEarlierMessages(t *testing.T) {
+	nw := testNet()
+	pub, _ := ListenPub(nw.Host("desktop"), 0)
+	defer pub.Close()
+
+	pub.Publish("t", StringMessage("before"))
+
+	sub, _ := DialSub(nw.Host("tv"), pub.Addr().String())
+	defer sub.Close()
+	waitSubscribers(t, pub, 1)
+	pub.Publish("t", StringMessage("after"))
+
+	m, err := sub.Recv(context.Background())
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.StringPart(1) != "after" {
+		t.Errorf("late subscriber saw %q, want only post-join messages", m.StringPart(1))
+	}
+}

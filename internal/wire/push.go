@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed socket.
+var ErrClosed = errors.New("wire: socket closed")
+
+// reconnect backoff bounds shared by Push and Caller.
+const (
+	backoffMin = 2 * time.Millisecond
+	backoffMax = 250 * time.Millisecond
+)
+
+// Push is a one-way sending socket, the PUSH half of the module data path.
+// It lazily connects to its peer and transparently reconnects after
+// failures. Send blocks until the message is handed to the transport,
+// matching the paper's queue-free design: the pipeline's flow control, not
+// socket buffering, decides when frames move.
+type Push struct {
+	transport Transport
+	address   string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// DialPush creates a push socket that will connect to address on first use.
+func DialPush(t Transport, address string) *Push {
+	return &Push{transport: t, address: address}
+}
+
+// Send transfers one message, connecting or reconnecting as necessary and
+// retrying with backoff until ctx is done.
+func (p *Push) Send(ctx context.Context, m Message) error {
+	backoff := backoffMin
+	for {
+		conn, err := p.ensureConn(ctx)
+		if err == nil {
+			if err = WriteMessage(conn, m); err == nil {
+				return nil
+			}
+			p.dropConn(conn)
+		}
+		if errors.Is(err, ErrClosed) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("wire: push to %s: %w (last error: %v)", p.address, ctx.Err(), err)
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+func (p *Push) ensureConn(ctx context.Context) (net.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if p.conn != nil {
+		conn := p.conn
+		p.mu.Unlock()
+		return conn, nil
+	}
+	p.mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	conn, err := p.transport.Dial(p.address)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if p.conn != nil {
+		// Lost a connect race with another sender; use the winner.
+		conn.Close()
+		return p.conn, nil
+	}
+	p.conn = conn
+	return conn, nil
+}
+
+func (p *Push) dropConn(conn net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == conn {
+		p.conn = nil
+	}
+	conn.Close()
+}
+
+// Close shuts the socket down. Subsequent Sends fail with ErrClosed.
+func (p *Push) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	return nil
+}
+
+// Pull is the receiving half of the module data path. It binds a listener,
+// accepts any number of upstream connections and fair-merges their messages
+// into a single stream consumed by Recv.
+type Pull struct {
+	ln   net.Listener
+	msgs chan Message
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ListenPull binds a pull socket on the transport at port (0 = ephemeral).
+func ListenPull(t Transport, port int) (*Pull, error) {
+	ln, err := t.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pull{
+		ln: ln,
+		// Size one, not more: the pipeline is queue-free by design; this
+		// single slot only decouples the reader goroutine from Recv.
+		msgs: make(chan Message, 1),
+		done: make(chan struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+func (p *Pull) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.readLoop(conn)
+	}
+}
+
+func (p *Pull) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case p.msgs <- m:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Recv returns the next message from any connected peer.
+func (p *Pull) Recv(ctx context.Context) (Message, error) {
+	select {
+	case m := <-p.msgs:
+		return m, nil
+	case <-p.done:
+		return Message{}, ErrClosed
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Addr reports the bound listener address.
+func (p *Pull) Addr() net.Addr { return p.ln.Addr() }
+
+// Close stops the socket and disconnects all peers.
+func (p *Pull) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	return p.ln.Close()
+}

@@ -1,0 +1,338 @@
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// RPC framing: a request is [8-byte id][application parts...]; a response is
+// [8-byte id][1-byte status][application parts... | error string]. Requests
+// from one Caller multiplex over a single connection, so a slow call does
+// not block later calls — the responder handles each request in its own
+// goroutine, which is what lets stateless services process frames from
+// multiple pipelines concurrently.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// RemoteError is an application error returned by a responder's handler,
+// carried back to the caller.
+type RemoteError struct {
+	// Msg is the handler's error text.
+	Msg string
+}
+
+// Error satisfies the error interface.
+func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
+
+// Caller is the requesting side of the service-call path. It multiplexes
+// concurrent in-flight calls over one connection and reconnects after
+// failures.
+type Caller struct {
+	transport Transport
+	address   string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	writeMu sync.Mutex
+	pending map[uint64]chan callResult
+	nextID  uint64
+	closed  bool
+}
+
+type callResult struct {
+	msg Message
+	err error
+}
+
+// DialCaller creates a caller that will connect to address on first use.
+func DialCaller(t Transport, address string) *Caller {
+	return &Caller{transport: t, address: address, pending: make(map[uint64]chan callResult)}
+}
+
+// Address reports the remote address this caller targets.
+func (c *Caller) Address() string { return c.address }
+
+// Call sends req and waits for the matching response. Concurrent calls are
+// multiplexed; connection failures are retried with backoff until ctx is
+// done. A *RemoteError return means the remote handler itself failed.
+func (c *Caller) Call(ctx context.Context, req Message) (Message, error) {
+	backoff := backoffMin
+	for {
+		resp, err := c.tryCall(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) || errors.Is(err, ErrClosed) || ctx.Err() != nil {
+			return Message{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return Message{}, fmt.Errorf("wire: call %s: %w (last error: %v)", c.address, ctx.Err(), err)
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+func (c *Caller) tryCall(ctx context.Context, req Message) (Message, error) {
+	conn, err := c.ensureConn(ctx)
+	if err != nil {
+		return Message{}, err
+	}
+
+	ch := make(chan callResult, 1)
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}()
+
+	var idPart [8]byte
+	binary.BigEndian.PutUint64(idPart[:], id)
+	framed := Message{Parts: append([][]byte{idPart[:]}, req.Parts...)}
+
+	c.writeMu.Lock()
+	err = WriteMessage(conn, framed)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.dropConn(conn, err)
+		return Message{}, err
+	}
+
+	select {
+	case res := <-ch:
+		return res.msg, res.err
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+func (c *Caller) ensureConn(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.conn != nil {
+		conn := c.conn
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	conn, err := c.transport.Dial(c.address)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if c.conn != nil {
+		existing := c.conn
+		c.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	c.conn = conn
+	c.mu.Unlock()
+
+	go c.readLoop(conn)
+	return conn, nil
+}
+
+func (c *Caller) readLoop(conn net.Conn) {
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			c.dropConn(conn, err)
+			return
+		}
+		if m.Len() < 2 || len(m.Part(0)) != 8 {
+			c.dropConn(conn, errors.New("wire: malformed rpc response"))
+			return
+		}
+		id := binary.BigEndian.Uint64(m.Part(0))
+		res := callResult{}
+		switch m.Part(1)[0] {
+		case statusOK:
+			res.msg = Message{Parts: m.Parts[2:]}
+		case statusErr:
+			res.err = &RemoteError{Msg: m.StringPart(2)}
+		default:
+			res.err = fmt.Errorf("wire: unknown rpc status %d", m.Part(1)[0])
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- res
+		}
+	}
+}
+
+// dropConn tears down a failed connection and fails every pending call so
+// callers can retry on a fresh connection.
+func (c *Caller) dropConn(conn net.Conn, cause error) {
+	conn.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != conn {
+		return
+	}
+	c.conn = nil
+	for id, ch := range c.pending {
+		select {
+		case ch <- callResult{err: fmt.Errorf("wire: connection lost: %w", cause)}:
+		default:
+		}
+		delete(c.pending, id)
+	}
+}
+
+// Close shuts the caller down, failing in-flight and future calls.
+func (c *Caller) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	for id, ch := range c.pending {
+		select {
+		case ch <- callResult{err: ErrClosed}:
+		default:
+		}
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	return nil
+}
+
+// Handler processes one request message and returns the response payload.
+// Handlers run concurrently; they must be safe for parallel use.
+type Handler func(ctx context.Context, req Message) (Message, error)
+
+// Responder is the serving side of the service-call path. Each accepted
+// connection gets a read loop; each request runs in its own goroutine.
+type Responder struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// ListenResponder binds a responder at port (0 = ephemeral) serving handler.
+func ListenResponder(t Transport, port int, handler Handler) (*Responder, error) {
+	if handler == nil {
+		return nil, errors.New("wire: nil handler")
+	}
+	ln, err := t.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	r := &Responder{ln: ln, handler: handler, done: make(chan struct{})}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr reports the bound listener address.
+func (r *Responder) Addr() net.Addr { return r.ln.Addr() }
+
+func (r *Responder) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		r.wg.Add(1)
+		go r.serveConn(conn)
+	}
+}
+
+func (r *Responder) serveConn(conn net.Conn) {
+	defer r.wg.Done()
+	defer conn.Close()
+	var writeMu sync.Mutex
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-r.done
+		cancel()
+		conn.Close()
+	}()
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		if m.Len() < 1 || len(m.Part(0)) != 8 {
+			return
+		}
+		id := m.Part(0)
+		req := Message{Parts: m.Parts[1:]}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			resp, herr := r.handler(ctx, req)
+			out := Message{Parts: make([][]byte, 0, 2+resp.Len())}
+			out.Parts = append(out.Parts, id)
+			if herr != nil {
+				out.Parts = append(out.Parts, []byte{statusErr}, []byte(herr.Error()))
+			} else {
+				out.Parts = append(out.Parts, []byte{statusOK})
+				out.Parts = append(out.Parts, resp.Parts...)
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			// Best effort: a broken connection is detected by the read loop.
+			_ = WriteMessage(conn, out)
+		}()
+	}
+}
+
+// Close stops the responder and waits for in-flight handlers to finish.
+func (r *Responder) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.done)
+	r.mu.Unlock()
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}

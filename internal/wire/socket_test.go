@@ -1,0 +1,442 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"videopipe/internal/netsim"
+)
+
+func testNet() *netsim.Network {
+	return netsim.NewNetwork(netsim.LinkProfile{})
+}
+
+func TestPushPullBasic(t *testing.T) {
+	nw := testNet()
+	pull, err := ListenPull(nw.Host("desktop"), 0)
+	if err != nil {
+		t.Fatalf("ListenPull: %v", err)
+	}
+	defer pull.Close()
+
+	push := DialPush(nw.Host("phone"), pull.Addr().String())
+	defer push.Close()
+
+	ctx := context.Background()
+	if err := push.Send(ctx, StringMessage("frame", "1")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m, err := pull.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.StringPart(0) != "frame" || m.StringPart(1) != "1" {
+		t.Errorf("Recv = %v, want [frame 1]", m)
+	}
+}
+
+func TestPushPullManyMessagesInOrder(t *testing.T) {
+	nw := testNet()
+	pull, err := ListenPull(nw.Host("desktop"), 0)
+	if err != nil {
+		t.Fatalf("ListenPull: %v", err)
+	}
+	defer pull.Close()
+	push := DialPush(nw.Host("phone"), pull.Addr().String())
+	defer push.Close()
+
+	ctx := context.Background()
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := push.Send(ctx, StringMessage(fmt.Sprint(i))); err != nil {
+				t.Errorf("Send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := pull.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if got := m.StringPart(0); got != fmt.Sprint(i) {
+			t.Fatalf("message %d = %q, out of order", i, got)
+		}
+	}
+}
+
+func TestPushConnectsLazilyAndRetries(t *testing.T) {
+	nw := testNet()
+	// Push created before any listener exists.
+	push := DialPush(nw.Host("phone"), "desktop:7001")
+	defer push.Close()
+
+	sent := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		sent <- push.Send(ctx, StringMessage("late"))
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let a few dial attempts fail
+	pull, err := ListenPull(nw.Host("desktop"), 7001)
+	if err != nil {
+		t.Fatalf("ListenPull: %v", err)
+	}
+	defer pull.Close()
+
+	m, err := pull.Recv(context.Background())
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.StringPart(0) != "late" {
+		t.Errorf("Recv = %q, want late", m.StringPart(0))
+	}
+	if err := <-sent; err != nil {
+		t.Errorf("Send: %v", err)
+	}
+}
+
+func TestPushSendAfterCloseFails(t *testing.T) {
+	nw := testNet()
+	push := DialPush(nw.Host("phone"), "desktop:1")
+	push.Close()
+	err := push.Send(context.Background(), StringMessage("x"))
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPushSendContextCancelled(t *testing.T) {
+	nw := testNet()
+	push := DialPush(nw.Host("phone"), "desktop:9") // nothing listening
+	defer push.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := push.Send(ctx, StringMessage("x")); err == nil {
+		t.Error("Send with no listener and expired ctx succeeded")
+	}
+}
+
+func TestPullFairMergesMultiplePushers(t *testing.T) {
+	nw := testNet()
+	pull, err := ListenPull(nw.Host("desktop"), 0)
+	if err != nil {
+		t.Fatalf("ListenPull: %v", err)
+	}
+	defer pull.Close()
+
+	ctx := context.Background()
+	const senders, per = 4, 25
+	for s := 0; s < senders; s++ {
+		push := DialPush(nw.Host(fmt.Sprintf("device%d", s)), pull.Addr().String())
+		defer push.Close()
+		go func(s int, push *Push) {
+			for i := 0; i < per; i++ {
+				if err := push.Send(ctx, StringMessage(fmt.Sprint(s))); err != nil {
+					t.Errorf("sender %d: %v", s, err)
+					return
+				}
+			}
+		}(s, push)
+	}
+
+	counts := map[string]int{}
+	for i := 0; i < senders*per; i++ {
+		m, err := pull.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		counts[m.StringPart(0)]++
+	}
+	for s := 0; s < senders; s++ {
+		if got := counts[fmt.Sprint(s)]; got != per {
+			t.Errorf("sender %d delivered %d messages, want %d", s, got, per)
+		}
+	}
+}
+
+func TestPullRecvAfterClose(t *testing.T) {
+	nw := testNet()
+	pull, err := ListenPull(nw.Host("desktop"), 0)
+	if err != nil {
+		t.Fatalf("ListenPull: %v", err)
+	}
+	pull.Close()
+	if _, err := pull.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPullRecvContext(t *testing.T) {
+	nw := testNet()
+	pull, err := ListenPull(nw.Host("desktop"), 0)
+	if err != nil {
+		t.Fatalf("ListenPull: %v", err)
+	}
+	defer pull.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := pull.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Recv = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestCallerResponderBasic(t *testing.T) {
+	nw := testNet()
+	resp, err := ListenResponder(nw.Host("desktop"), 0, func(_ context.Context, req Message) (Message, error) {
+		return StringMessage("echo:" + req.StringPart(0)), nil
+	})
+	if err != nil {
+		t.Fatalf("ListenResponder: %v", err)
+	}
+	defer resp.Close()
+
+	caller := DialCaller(nw.Host("phone"), resp.Addr().String())
+	defer caller.Close()
+
+	out, err := caller.Call(context.Background(), StringMessage("hi"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if out.StringPart(0) != "echo:hi" {
+		t.Errorf("Call = %q, want echo:hi", out.StringPart(0))
+	}
+}
+
+func TestCallerRemoteError(t *testing.T) {
+	nw := testNet()
+	resp, err := ListenResponder(nw.Host("desktop"), 0, func(_ context.Context, _ Message) (Message, error) {
+		return Message{}, errors.New("model exploded")
+	})
+	if err != nil {
+		t.Fatalf("ListenResponder: %v", err)
+	}
+	defer resp.Close()
+
+	caller := DialCaller(nw.Host("phone"), resp.Addr().String())
+	defer caller.Close()
+
+	_, err = caller.Call(context.Background(), StringMessage("x"))
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("Call error = %v, want RemoteError", err)
+	}
+	if remote.Msg != "model exploded" {
+		t.Errorf("remote msg = %q", remote.Msg)
+	}
+}
+
+func TestCallerConcurrentCallsMultiplex(t *testing.T) {
+	nw := testNet()
+	var inFlight, peak int64
+	resp, err := ListenResponder(nw.Host("desktop"), 0, func(_ context.Context, req Message) (Message, error) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		atomic.AddInt64(&inFlight, -1)
+		return req, nil
+	})
+	if err != nil {
+		t.Fatalf("ListenResponder: %v", err)
+	}
+	defer resp.Close()
+
+	caller := DialCaller(nw.Host("phone"), resp.Addr().String())
+	defer caller.Close()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := caller.Call(context.Background(), StringMessage(fmt.Sprint(i)))
+			if err != nil {
+				t.Errorf("Call %d: %v", i, err)
+				return
+			}
+			if out.StringPart(0) != fmt.Sprint(i) {
+				t.Errorf("Call %d returned %q: responses crossed", i, out.StringPart(0))
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if atomic.LoadInt64(&peak) < 2 {
+		t.Errorf("peak concurrency = %d, want >= 2 (requests must multiplex)", peak)
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Errorf("8 concurrent 20ms calls took %v; requests appear serialized", elapsed)
+	}
+}
+
+func TestCallerReconnectsAfterResponderRestart(t *testing.T) {
+	nw := testNet()
+	handler := func(_ context.Context, req Message) (Message, error) { return req, nil }
+	resp, err := ListenResponder(nw.Host("desktop"), 7100, handler)
+	if err != nil {
+		t.Fatalf("ListenResponder: %v", err)
+	}
+
+	caller := DialCaller(nw.Host("phone"), "desktop:7100")
+	defer caller.Close()
+	if _, err := caller.Call(context.Background(), StringMessage("a")); err != nil {
+		t.Fatalf("first Call: %v", err)
+	}
+
+	resp.Close()
+	resp2, err := ListenResponder(nw.Host("desktop"), 7100, handler)
+	if err != nil {
+		t.Fatalf("restart ListenResponder: %v", err)
+	}
+	defer resp2.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := caller.Call(ctx, StringMessage("b"))
+	if err != nil {
+		t.Fatalf("Call after restart: %v", err)
+	}
+	if out.StringPart(0) != "b" {
+		t.Errorf("Call after restart = %q, want b", out.StringPart(0))
+	}
+}
+
+func TestCallerCloseFailsCalls(t *testing.T) {
+	nw := testNet()
+	caller := DialCaller(nw.Host("phone"), "desktop:1")
+	caller.Close()
+	if _, err := caller.Call(context.Background(), StringMessage("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Call after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestResponderNilHandler(t *testing.T) {
+	nw := testNet()
+	if _, err := ListenResponder(nw.Host("desktop"), 0, nil); err == nil {
+		t.Error("ListenResponder(nil) succeeded")
+	}
+}
+
+func TestCallerResponderOverRealTCP(t *testing.T) {
+	tp := TCPTransport{Interface: "127.0.0.1"}
+	resp, err := ListenResponder(tp, 0, func(_ context.Context, req Message) (Message, error) {
+		return StringMessage("tcp:" + req.StringPart(0)), nil
+	})
+	if err != nil {
+		t.Skipf("real TCP unavailable: %v", err)
+	}
+	defer resp.Close()
+
+	caller := DialCaller(TCPTransport{}, resp.Addr().String())
+	defer caller.Close()
+	out, err := caller.Call(context.Background(), StringMessage("ping"))
+	if err != nil {
+		t.Fatalf("Call over TCP: %v", err)
+	}
+	if out.StringPart(0) != "tcp:ping" {
+		t.Errorf("Call = %q", out.StringPart(0))
+	}
+}
+
+func TestPushPullOverRealTCP(t *testing.T) {
+	tp := TCPTransport{Interface: "127.0.0.1"}
+	pull, err := ListenPull(tp, 0)
+	if err != nil {
+		t.Skipf("real TCP unavailable: %v", err)
+	}
+	defer pull.Close()
+	push := DialPush(TCPTransport{}, pull.Addr().String())
+	defer push.Close()
+	if err := push.Send(context.Background(), StringMessage("over-tcp")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m, err := pull.Recv(context.Background())
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if m.StringPart(0) != "over-tcp" {
+		t.Errorf("Recv = %q", m.StringPart(0))
+	}
+}
+
+func TestPushReconnectsAfterPullRestart(t *testing.T) {
+	nw := testNet()
+	pull, err := ListenPull(nw.Host("desktop"), 7200)
+	if err != nil {
+		t.Fatalf("ListenPull: %v", err)
+	}
+	push := DialPush(nw.Host("phone"), "desktop:7200")
+	defer push.Close()
+
+	ctx := context.Background()
+	if err := push.Send(ctx, StringMessage("one")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if m, err := pull.Recv(ctx); err != nil || m.StringPart(0) != "one" {
+		t.Fatalf("Recv: %v, %v", m.Parts, err)
+	}
+
+	// Restart the receiver: the push's connection dies; Send must
+	// transparently reconnect (exercising dropConn).
+	pull.Close()
+	pull2, err := ListenPull(nw.Host("desktop"), 7200)
+	if err != nil {
+		t.Fatalf("restart ListenPull: %v", err)
+	}
+	defer pull2.Close()
+
+	sendCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	// The first send may land on the dead conn (netsim buffers the write);
+	// keep sending until one arrives at the new socket.
+	got := make(chan Message, 1)
+	go func() {
+		m, err := pull2.Recv(sendCtx)
+		if err == nil {
+			got <- m
+		}
+	}()
+	for i := 0; ; i++ {
+		if err := push.Send(sendCtx, StringMessage(fmt.Sprintf("retry%d", i))); err != nil {
+			t.Fatalf("Send after restart: %v", err)
+		}
+		select {
+		case m := <-got:
+			if !strings.HasPrefix(m.StringPart(0), "retry") {
+				t.Errorf("got %q", m.StringPart(0))
+			}
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+		if sendCtx.Err() != nil {
+			t.Fatal("push never reconnected")
+		}
+	}
+}
+
+func TestCallerAddressAndRemoteErrorText(t *testing.T) {
+	nw := testNet()
+	caller := DialCaller(nw.Host("phone"), "desktop:42")
+	defer caller.Close()
+	if caller.Address() != "desktop:42" {
+		t.Errorf("Address = %q", caller.Address())
+	}
+	e := &RemoteError{Msg: "boom"}
+	if !strings.Contains(e.Error(), "boom") {
+		t.Errorf("RemoteError.Error = %q", e.Error())
+	}
+}
