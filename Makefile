@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples clean
+.PHONY: all build vet lint check test race cover bench experiments examples clean
 
 all: build vet test
 
@@ -11,6 +11,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet over the Go code, pipevet over every example
+# pipeline config (module scripts + config cross-checks).
+lint: vet
+	@set -e; for cfg in examples/configs/*.cfg; do \
+		$(GO) run ./cmd/videopipe -lint -config $$cfg; \
+	done
+
+# The pre-PR gate: everything that must be green before a change ships.
+check: build lint race
 
 test:
 	$(GO) test ./...

@@ -137,5 +137,11 @@ func (b *PipelineBuilder) Build() (PipelineConfig, error) {
 	if err := b.cfg.Validate(); err != nil {
 		return PipelineConfig{}, err
 	}
+	// Static analysis gate (pipevet): module scripts that reference
+	// undefined names, call undeclared services, or target non-edges fail
+	// here instead of mid-stream. Warnings are kept for Launch to log.
+	if errs := core.AnalysisErrors(core.AnalyzePipeline(&b.cfg)); len(errs) > 0 {
+		return PipelineConfig{}, &core.AnalysisError{Pipeline: b.cfg.Name, Diagnostics: errs}
+	}
 	return b.cfg, nil
 }

@@ -1,0 +1,202 @@
+// Command videopipe deploys and runs a pipeline described by a
+// Listing-1-style configuration file on a simulated home cluster (phone +
+// desktop + TV on Wi-Fi with the standard services).
+//
+// Usage:
+//
+//	videopipe -config fitness.cfg
+//	videopipe -config app.cfg -planner baseline -duration 10s -fps 30
+//	videopipe -lint -config app.cfg
+//
+// The config dialect matches the paper's Listing 1; include() paths
+// resolve relative to the config file. Run with -example to print a
+// ready-to-use config instead of running one, or with -lint to run the
+// pipevet static analyzer over a config without deploying it: every
+// diagnostic is printed and the exit status is non-zero when any is an
+// error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"videopipe"
+)
+
+const exampleConfig = `// Example pipeline for the videopipe command.
+// Save as app.cfg, put module code in PoseWatch.js next to it, then:
+//   videopipe -config app.cfg
+modules : [
+	{ name: streamer
+	  source: "function event_received(m) { call_module('watch', {frame_ref: m.frame_ref, captured_ms: m.captured_ms}); }"
+	  next_module: watch }
+	{ name: watch
+	  include ("PoseWatch.js")
+	  service: ['pose_detector'] }
+]
+source : { device: phone, module: streamer, fps: 15,
+           width: 480, height: 360, scene: squat, rep_rate: 0.5 }
+`
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "pipeline configuration file (Listing-1 dialect)")
+		plannerArg = flag.String("planner", "videopipe", "deployment plan: videopipe|baseline|pinned")
+		duration   = flag.Duration("duration", 10*time.Second, "how long to run the pipeline")
+		fps        = flag.Float64("fps", 0, "override the config's source frame rate")
+		verbose    = flag.Bool("verbose", false, "print module log() output")
+		example    = flag.Bool("example", false, "print an example config and exit")
+		lint       = flag.Bool("lint", false, "statically analyze the config and exit (no deployment)")
+	)
+	flag.Parse()
+
+	if *example {
+		fmt.Print(exampleConfig)
+		return
+	}
+	if *lint {
+		os.Exit(runLint(*configPath, os.Stdout, os.Stderr))
+	}
+	if err := run(*configPath, *plannerArg, *duration, *fps, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "videopipe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configPath, plannerArg string, duration time.Duration, fps float64, verbose bool) error {
+	if configPath == "" {
+		return fmt.Errorf("missing -config (use -example for a starting point)")
+	}
+	text, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	name := strings.TrimSuffix(filepath.Base(configPath), filepath.Ext(configPath))
+	cfg, err := videopipe.ParseConfig(name, string(text), videopipe.FileResolver(filepath.Dir(configPath)))
+	if err != nil {
+		return err
+	}
+	if fps > 0 {
+		cfg.Source.FPS = fps
+	}
+
+	var planner videopipe.Planner
+	switch plannerArg {
+	case "videopipe":
+		planner = videopipe.CoLocatePlanner{}
+	case "baseline":
+		planner = videopipe.BaselinePlanner{}
+	case "pinned":
+		planner = videopipe.PinnedPlanner{}
+	default:
+		return fmt.Errorf("unknown planner %q (videopipe|baseline|pinned)", plannerArg)
+	}
+
+	fmt.Println("building standard services (training activity classifier)...")
+	registry, err := videopipe.NewStandardServices(videopipe.DefaultServiceOptions())
+	if err != nil {
+		return err
+	}
+
+	spec := videopipe.HomeClusterSpec()
+	if plannerArg == "baseline" {
+		spec = videopipe.BaselineClusterSpec()
+	}
+	// The config may declare its own deployment (devices/services
+	// sections); when present it overrides the default home cluster.
+	if declared, found, err := videopipe.ParseClusterSpecText(string(text)); err != nil {
+		return err
+	} else if found {
+		if len(declared.Devices) > 0 {
+			spec.Devices = declared.Devices
+		}
+		if len(declared.Services) > 0 {
+			spec.Services = declared.Services
+		}
+	}
+	cluster, err := videopipe.NewCluster(spec, registry)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	if verbose {
+		for _, dn := range cluster.DeviceNames() {
+			d, _ := cluster.Device(dn)
+			d.SetLogf(func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			})
+		}
+	}
+
+	pipeline, err := cluster.Launch(*cfg, planner)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pipeline %q deployed with the %s plan:\n", cfg.Name, pipeline.PlannerName())
+	for _, m := range pipeline.Modules() {
+		fmt.Printf("  %-24s on %s\n", m, pipeline.Placement()[m])
+	}
+
+	fmt.Printf("running for %v at %g fps source...\n\n", duration, cfg.Source.FPS)
+	result, err := pipeline.Run(context.Background(), duration)
+	if err != nil {
+		return err
+	}
+	fmt.Print(result)
+	return nil
+}
+
+// runLint statically analyzes a config with pipevet and reports every
+// diagnostic without deploying anything. The return value is the process
+// exit status: 0 when the pipeline is deployable (warnings allowed),
+// 1 when the config fails to parse/validate or any diagnostic is an error.
+func runLint(configPath string, stdout, stderr io.Writer) int {
+	diags, err := lintConfig(configPath)
+	errors := 0
+	for _, d := range diags {
+		if d.Severity == videopipe.SeverityError {
+			errors++
+		}
+		fmt.Fprintf(stderr, "%s: %s\n", configPath, d)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "videopipe:", err)
+		return 1
+	}
+	if errors > 0 {
+		fmt.Fprintf(stderr, "%s: %d error(s), %d warning(s)\n", configPath, errors, len(diags)-errors)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: ok (%d warning(s))\n", configPath, len(diags))
+	return 0
+}
+
+// lintConfig parses a Listing-1 config and runs the full analyzer over it.
+// Structural problems (unreadable file, parse failure, Validate errors)
+// come back as err alongside whatever script diagnostics were gathered.
+func lintConfig(configPath string) ([]videopipe.Diagnostic, error) {
+	if configPath == "" {
+		return nil, fmt.Errorf("missing -config (use -example for a starting point)")
+	}
+	text, err := os.ReadFile(configPath)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(configPath), filepath.Ext(configPath))
+	cfg, err := videopipe.ParseConfig(name, string(text), videopipe.FileResolver(filepath.Dir(configPath)))
+	if err != nil {
+		return nil, err
+	}
+	diags := videopipe.AnalyzePipeline(cfg)
+	if err := cfg.Validate(); err != nil {
+		return diags, err
+	}
+	return diags, nil
+}

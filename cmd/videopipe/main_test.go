@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeTestConfig(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := `
+modules : [
+	{ name: streamer
+	  source: "function event_received(m) { call_module('watch', {frame_ref: m.frame_ref, captured_ms: m.captured_ms}); }"
+	  next_module: watch }
+	{ name: watch
+	  include ("Watch.js")
+	  service: ['pose_detector'] }
+]
+source : { device: phone, module: streamer, fps: 15,
+           width: 480, height: 360, scene: squat, rep_rate: 0.5 }
+`
+	js := `
+function event_received(message) {
+	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+	if (r.found) { metric("found", 1); }
+	frame_done();
+}
+`
+	path := filepath.Join(dir, "app.cfg")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "Watch.js"), []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full service registry")
+	}
+	path := writeTestConfig(t)
+	if err := run(path, "videopipe", 1500*time.Millisecond, 0, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "videopipe", time.Second, 0, false); err == nil {
+		t.Error("missing config accepted")
+	}
+	if err := run("/nonexistent/path.cfg", "videopipe", time.Second, 0, false); err == nil {
+		t.Error("unreadable config accepted")
+	}
+	path := writeTestConfig(t)
+	if err := run(path, "warpdrive", time.Second, 0, false); err == nil {
+		t.Error("unknown planner accepted")
+	}
+}
+
+func TestRunBaselinePlanner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full service registry")
+	}
+	path := writeTestConfig(t)
+	if err := run(path, "baseline", time.Second, 10, true); err != nil {
+		t.Fatalf("run baseline: %v", err)
+	}
+}
+
+// writeBrokenConfig produces a config whose module calls a service it
+// never declares — structurally valid, statically wrong.
+func writeBrokenConfig(t *testing.T) string {
+	t.Helper()
+	cfg := `
+modules : [
+	{ name: watch
+	  source: "function event_received(m) { call_service('pose_detector', {frame_ref: m.frame_ref}); frame_done(); }" }
+]
+source : { device: phone, module: watch, fps: 15, width: 480, height: 360 }
+`
+	path := filepath.Join(t.TempDir(), "broken.cfg")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLintCleanConfig(t *testing.T) {
+	path := writeTestConfig(t)
+	var out, errOut strings.Builder
+	if code := runLint(path, &out, &errOut); code != 0 {
+		t.Fatalf("lint exit = %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("stdout = %q", out.String())
+	}
+}
+
+func TestLintBrokenConfig(t *testing.T) {
+	path := writeBrokenConfig(t)
+	var out, errOut strings.Builder
+	if code := runLint(path, &out, &errOut); code != 1 {
+		t.Fatalf("lint exit = %d, want 1", code)
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, "PV101") || !strings.Contains(msg, "pose_detector") {
+		t.Errorf("stderr lacks the PV101 diagnostic:\n%s", msg)
+	}
+	// Diagnostics are positioned: config path prefix plus line:col.
+	if !strings.Contains(msg, path+": module watch: 1:") {
+		t.Errorf("stderr lacks a positioned diagnostic:\n%s", msg)
+	}
+}
+
+func TestLintErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := runLint("", &out, &errOut); code != 1 {
+		t.Error("missing -config accepted")
+	}
+	if code := runLint("/nonexistent/path.cfg", &out, &errOut); code != 1 {
+		t.Error("unreadable config accepted")
+	}
+	// Unparseable config text.
+	bad := filepath.Join(t.TempDir(), "bad.cfg")
+	if err := os.WriteFile(bad, []byte("modules : ["), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runLint(bad, &out, &errOut); code != 1 {
+		t.Error("unparseable config accepted")
+	}
+}

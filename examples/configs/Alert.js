@@ -1,0 +1,12 @@
+// Alert sink: raises a (simulated) caregiver alarm on newly detected falls
+// and returns the flow-control credit.
+var alerts = 0;
+function event_received(message) {
+	if (message.alert) {
+		alerts++;
+		metric("fall_alerts", 1);
+		log("FALL DETECTED - alerting caregiver");
+	}
+	metric("fall_total", now_ms() - message.captured_ms);
+	frame_done();
+}

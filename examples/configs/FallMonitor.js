@@ -1,0 +1,15 @@
+// Fall stage: feeds poses through the stateless fall detector, keeping the
+// detector's state blob as module state.
+var state = "";
+function event_received(message) {
+	var t0 = now_ms();
+	var r = call_service("fall_detector", {state: state, pose: message.pose});
+	metric("fall_check", now_ms() - t0);
+	state = r.state;
+	call_module("alert", {
+		frame_ref: message.frame_ref,
+		fallen: r.fallen,
+		alert: r.alert,
+		captured_ms: message.captured_ms
+	});
+}

@@ -1,0 +1,15 @@
+// Pose stage: runs the 2D pose detector and forwards found poses.
+function event_received(message) {
+	var t0 = now_ms();
+	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+	metric("pose", now_ms() - t0);
+	if (!r.found) {
+		frame_done();
+		return;
+	}
+	call_module("fall_monitor", {
+		frame_ref: message.frame_ref,
+		pose: r.pose,
+		captured_ms: message.captured_ms
+	});
+}

@@ -1,0 +1,12 @@
+// Pose watcher: counts frames where the pose detector finds a subject.
+// Included by posewatch.cfg; keeps its counter as module state.
+var seen = 0;
+function event_received(message) {
+	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+	if (r.found) {
+		seen++;
+		metric("subject_seen", 1);
+	}
+	metric("watch_total", now_ms() - message.captured_ms);
+	frame_done();
+}

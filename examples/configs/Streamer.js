@@ -1,0 +1,8 @@
+// Camera-side streamer: forwards captured frames into the analysis chain.
+function event_received(message) {
+	call_module("pose", {
+		frame_ref: message.frame_ref,
+		captured_ms: message.captured_ms,
+		seq: message.seq
+	});
+}

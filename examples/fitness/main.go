@@ -1,0 +1,122 @@
+// Fitness: the paper's flagship application (§4.1, Fig. 4).
+//
+// A synthetic subject exercises in front of the phone camera; the pipeline
+// detects their pose, recognizes the exercise over 15-frame windows,
+// counts reps with the 2-means counter, and composes the TV display. The
+// program runs the same application under both deployment plans — the
+// co-locating VideoPipe planner and the EdgeEye-style remote-API baseline
+// — and prints the side-by-side comparison, plus the final frame the TV
+// would show (saved as a PNG).
+//
+//	go run ./examples/fitness [-scene squat] [-fps 20] [-dur 6s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"image/color"
+	"image/png"
+	"log"
+	"os"
+	"time"
+
+	"videopipe"
+	"videopipe/internal/frame"
+	"videopipe/internal/vision"
+)
+
+func main() {
+	var (
+		scene = flag.String("scene", "squat", "exercise: squat|jumping_jack|overhead_press|lunge")
+		fps   = flag.Float64("fps", 20, "camera frame rate")
+		dur   = flag.Duration("dur", 6*time.Second, "run duration per plan")
+		out   = flag.String("out", "fitness_display.png", "path for the rendered TV frame ('' to skip)")
+	)
+	flag.Parse()
+
+	registry, err := videopipe.NewStandardServices(videopipe.DefaultServiceOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== VideoPipe plan (modules co-located with services) ==\n")
+	vp := runPlan(registry, videopipe.HomeClusterSpec(), videopipe.CoLocatePlanner{}, "fitness_vp", *scene, *fps, *dur)
+
+	fmt.Printf("\n== Baseline plan (all modules on the phone, remote API calls) ==\n")
+	bl := runPlan(registry, videopipe.BaselineClusterSpec(), videopipe.BaselinePlanner{}, "fitness_bl", *scene, *fps, *dur)
+
+	fmt.Printf("\n== Comparison ==\n")
+	fmt.Printf("delivered FPS:  videopipe %.2f   baseline %.2f   (x%.2f)\n", vp.FPS, bl.FPS, vp.FPS/bl.FPS)
+	fmt.Printf("e2e latency:    videopipe %v   baseline %v\n",
+		vp.E2E.Mean.Round(time.Millisecond), bl.E2E.Mean.Round(time.Millisecond))
+
+	if *out != "" {
+		if err := renderDisplayFrame(*out, *scene); err != nil {
+			log.Printf("rendering display frame: %v", err)
+		} else {
+			fmt.Printf("\nTV display frame written to %s\n", *out)
+		}
+	}
+}
+
+func runPlan(registry *videopipe.ServiceRegistry, spec videopipe.ClusterSpec, planner videopipe.Planner, name, scene string, fps float64, dur time.Duration) videopipe.RunResult {
+	cluster, err := videopipe.NewCluster(spec, registry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	pipeline, err := cluster.Launch(videopipe.FitnessApp(name, fps, scene), planner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range pipeline.Modules() {
+		fmt.Printf("  %-22s on %s\n", m, pipeline.Placement()[m])
+	}
+	result, err := pipeline.Run(context.Background(), dur)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(result)
+	return result
+}
+
+// renderDisplayFrame reproduces the Fig. 3 screenshot: the camera scene
+// with the skeleton overlay, activity banner and rep ticks, composed by
+// the display service's own renderer.
+func renderDisplayFrame(path, scene string) error {
+	activity, err := vision.ParseActivity(scene)
+	if err != nil {
+		return err
+	}
+	f := frame.MustNew(480, 360)
+	subject := vision.DefaultSubject()
+	subject.CenterX, subject.CenterY, subject.Scale = 240, 194, 60
+	pose := vision.SynthesizePose(activity, 0.3, subject, nil)
+	vision.RenderScene(f, pose)
+
+	// Overlay, banner and ticks drawn the way the display service does.
+	for _, bone := range vision.Bones {
+		a, b := pose.Keypoints[bone[0]], pose.Keypoints[bone[1]]
+		f.DrawLine(int(a.X)+1, int(a.Y)+1, int(b.X)+1, int(b.Y)+1, goldOverlay)
+	}
+	f.DrawRect(0, 0, f.Width-1, 11, bannerTeal)
+	for k := 0; k < 3; k++ {
+		f.DrawRect(8+k*14, f.Height-16, 16+k*14, f.Height-8, whiteTick)
+	}
+
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return png.Encode(file, f.ToImage())
+}
+
+// Overlay palette for the rendered screenshot.
+var (
+	goldOverlay = color.RGBA{R: 255, G: 215, B: 0, A: 255}
+	bannerTeal  = color.RGBA{R: 48, G: 160, B: 160, A: 255}
+	whiteTick   = color.RGBA{R: 255, G: 255, B: 255, A: 255}
+)

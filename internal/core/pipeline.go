@@ -46,6 +46,15 @@ func (c *Cluster) Launch(cfg PipelineConfig, planner Planner) (*Pipeline, error)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Static analysis gate (pipevet): reject error-severity findings before
+	// anything deploys; warnings only bump a meter.
+	warns, err := analyzeForLaunch(&cfg)
+	for range warns {
+		c.reg.Meter("analysis." + cfg.Name + ".warnings").Mark()
+	}
+	if err != nil {
+		return nil, err
+	}
 	plan, err := planner.Plan(&cfg, c)
 	if err != nil {
 		return nil, err

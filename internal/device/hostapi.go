@@ -45,15 +45,15 @@ func (m *Module) bindHostAPIInto(ctx *script.Context) {
 	ctx.Bind("metric", m.hostMetric)
 }
 
-// hostCallService implements call_service(service, message).
+// hostCallService implements call_service(service, message). Arity and
+// argument types are validated against the shared host-API signature table
+// (script.CheckHostArgs) — the same table pipevet checks statically — so
+// only the dynamic checks (allowed services, frame refs) live here.
 func (m *Module) hostCallService(args []script.Value) (script.Value, error) {
-	if len(args) < 1 {
-		return nil, fmt.Errorf("call_service: missing service name")
+	if err := script.CheckHostArgs("call_service", args); err != nil {
+		return nil, err
 	}
-	name, ok := args[0].(string)
-	if !ok {
-		return nil, fmt.Errorf("call_service: service name must be a string, got %s", script.TypeName(args[0]))
-	}
+	name := args[0].(string)
 	if len(m.allowed) > 0 && !m.allowed[name] {
 		return nil, fmt.Errorf("call_service: module %q is not configured to use service %q", m.spec.Name, name)
 	}
@@ -108,13 +108,10 @@ func (m *Module) hostCallService(args []script.Value) (script.Value, error) {
 // transfer. Local destinations receive the frame by reference; remote
 // destinations receive an encoded copy over the wire.
 func (m *Module) hostCallModule(args []script.Value) (script.Value, error) {
-	if len(args) < 1 {
-		return nil, fmt.Errorf("call_module: missing module name")
+	if err := script.CheckHostArgs("call_module", args); err != nil {
+		return nil, err
 	}
-	target, ok := args[0].(string)
-	if !ok {
-		return nil, fmt.Errorf("call_module: module name must be a string, got %s", script.TypeName(args[0]))
-	}
+	target := args[0].(string)
 	route, ok := m.routes[target]
 	if !ok {
 		return nil, fmt.Errorf("call_module: module %q has no edge to %q", m.spec.Name, target)
@@ -243,17 +240,11 @@ func (m *Module) hostFrameDone([]script.Value) (script.Value, error) {
 // hostMetric implements metric(name, ms): module-level stage timing, used
 // by the experiment scripts to report per-stage latency (Fig. 6).
 func (m *Module) hostMetric(args []script.Value) (script.Value, error) {
-	if len(args) < 2 {
-		return nil, fmt.Errorf("metric: need name and milliseconds")
+	if err := script.CheckHostArgs("metric", args); err != nil {
+		return nil, err
 	}
-	name, ok := args[0].(string)
-	if !ok {
-		return nil, fmt.Errorf("metric: name must be a string")
-	}
-	ms, ok := args[1].(float64)
-	if !ok {
-		return nil, fmt.Errorf("metric: value must be a number")
-	}
+	name := args[0].(string)
+	ms := args[1].(float64)
 	key := "stage." + name
 	if m.spec.MetricPrefix != "" {
 		key = "stage." + m.spec.MetricPrefix + "." + name

@@ -43,6 +43,7 @@ import (
 	"videopipe/internal/core"
 	"videopipe/internal/device"
 	"videopipe/internal/netsim"
+	"videopipe/internal/script"
 	"videopipe/internal/services"
 )
 
@@ -89,6 +90,14 @@ type (
 	// Report is one monitoring observation.
 	Report = core.Report
 
+	// Diagnostic is one pipevet static-analysis finding.
+	Diagnostic = core.Diagnostic
+	// AnalysisError carries the error-severity diagnostics that made
+	// Build or Launch reject a pipeline.
+	AnalysisError = core.AnalysisError
+	// Severity ranks analyzer diagnostics (errors reject, warnings log).
+	Severity = script.Severity
+
 	// ServiceRegistry catalogues deployable services.
 	ServiceRegistry = services.Registry
 	// ServiceOptions calibrates the standard services' simulated costs.
@@ -106,6 +115,12 @@ const (
 	Laptop  = device.Laptop
 	Watch   = device.Watch
 	Fridge  = device.Fridge
+)
+
+// Diagnostic severities.
+const (
+	SeverityWarning = script.SeverityWarning
+	SeverityError   = script.SeverityError
 )
 
 // Standard service names (paper §2.2's service catalogue).
@@ -196,3 +211,16 @@ func FallApp(name string, fps float64) PipelineConfig {
 // detection, module error counts, service-pool utilization, and optional
 // autoscaling of saturated services.
 func NewMonitor(c *Cluster) *Monitor { return core.NewMonitor(c) }
+
+// AnalyzePipeline runs the pipevet static analyzer over every module of a
+// pipeline: script-level checks (undefined identifiers, use before
+// declaration, bad host-API calls, ...) plus config cross-checks (literal
+// call_service/call_module targets vs declared services and edges, missing
+// event_received on reachable modules). Launch and Build reject pipelines
+// whose diagnostics include errors; this entry point exposes the full list,
+// warnings included, for tooling such as `videopipe -lint`.
+func AnalyzePipeline(cfg *PipelineConfig) []Diagnostic { return core.AnalyzePipeline(cfg) }
+
+// AnalyzeScript runs only the script-level pipevet checks over a single
+// PipeScript module source, without pipeline cross-checks.
+func AnalyzeScript(src string) []Diagnostic { return core.AnalyzeModuleSource(src) }
