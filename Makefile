@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check test race cover bench experiments examples clean
+.PHONY: all build vet lint check test race cover bench chaos fuzz experiments examples clean
 
 all: build vet test
 
@@ -31,6 +31,19 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# End-to-end resilience suite: seeded fault schedules against full
+# pipelines, race detector on. Override the seed to replay a different
+# (still deterministic) fault sequence.
+VP_CHAOS_SEED ?= 1
+chaos:
+	VP_CHAOS_SEED=$(VP_CHAOS_SEED) $(GO) test -race -v -run 'TestChaos' .
+
+# Short coverage-guided fuzz pass over the PipeScript and config parsers
+# (seed corpora alone run in `make test`).
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/script
+	$(GO) test -fuzz FuzzParseConfig -fuzztime 30s ./internal/core
+
 # One measurement window per benchmark; see EXPERIMENTS.md for canonical
 # longer-window numbers.
 bench:
@@ -48,4 +61,4 @@ examples:
 	$(GO) run ./examples/securitycam -dur 6s
 
 clean:
-	rm -f fitness_display.png test_output.txt bench_output.txt
+	rm -f fitness_display.png test_output.txt bench_output.txt vpbench_results.txt

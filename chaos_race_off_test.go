@@ -1,0 +1,6 @@
+//go:build !race
+
+package videopipe_test
+
+// chaosRaceBuild reports whether the race detector is active.
+const chaosRaceBuild = false

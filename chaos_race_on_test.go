@@ -1,0 +1,9 @@
+//go:build race
+
+package videopipe_test
+
+// chaosRaceBuild reports that the race detector is active: pixel work is
+// compute-bound and an order of magnitude slower, so the chaos suite's
+// window-ratio recovery bar is relaxed (the sampled Recovery metric still
+// demands a sustained 90% of the pre-fault rate).
+const chaosRaceBuild = true

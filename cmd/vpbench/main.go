@@ -9,7 +9,9 @@
 //	vpbench -exp all -dur 3s       # everything, 3s measurement windows
 //
 // Experiments: fig6, table2, activity, repcount, scaleout, queueing,
-// codec, broker, workers, all.
+// codec, broker, workers, planners, chaos, all. The chaos experiment
+// replays a seeded fault schedule (-seed) and prints a recovery-time
+// table per scenario.
 package main
 
 import (
@@ -24,10 +26,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: fig6|table2|activity|repcount|scaleout|queueing|codec|broker|workers|planners|all")
+		exp   = flag.String("exp", "all", "experiment to run: fig6|table2|activity|repcount|scaleout|queueing|codec|broker|workers|planners|chaos|all")
 		dur   = flag.Duration("dur", 3*time.Second, "measurement window per configuration")
 		scene = flag.String("scene", "squat", "exercise the synthetic subject performs")
-		seed  = flag.Int64("seed", 1, "dataset seed for the accuracy experiments")
+		seed  = flag.Int64("seed", 1, "seed for the accuracy experiments and the chaos fault schedule")
 	)
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func run(exp string, dur time.Duration, scene string, seed int64) error {
 	needsRegistry := map[string]bool{
 		"fig6": true, "table2": true, "scaleout": true,
 		"queueing": true, "codec": true, "broker": true,
-		"planners": true, "all": true,
+		"planners": true, "chaos": true, "all": true,
 	}
 	if needsRegistry[exp] {
 		fmt.Println("building standard services (training activity classifier)...")
@@ -72,6 +74,7 @@ func run(exp string, dur time.Duration, scene string, seed int64) error {
 		{"broker", runBroker},
 		{"workers", runWorkers},
 		{"planners", runPlanners},
+		{"chaos", func(o experiments.Options) error { return runChaos(o, seed) }},
 	}
 	for _, d := range dispatch {
 		if all || exp == d.name {
@@ -200,6 +203,20 @@ func runPlanners(o experiments.Options) error {
 		fmt.Printf("%-16s %10.2f %12s\n", p.Planner, p.FPS, p.E2EMean.Round(time.Millisecond))
 	}
 	fmt.Println("(expected: latency-aware derives the co-located plan; both beat the baseline)")
+	return nil
+}
+
+func runChaos(o experiments.Options, seed int64) error {
+	header("Resilience — deterministic fault injection and recovery")
+	rows, err := experiments.Chaos(o, seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatChaos(rows, seed))
+	for _, r := range rows {
+		fmt.Printf("\n%s schedule:\n%s\n", r.Scenario, r.Fingerprint)
+	}
+	fmt.Println("(expected: post-fault FPS within 10% of pre-fault; same seed replays the same schedule)")
 	return nil
 }
 

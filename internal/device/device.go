@@ -14,6 +14,7 @@ package device
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -125,6 +126,9 @@ type Device struct {
 	clients   map[string]*services.Client
 	modules   map[string]*Module
 	closed    bool
+
+	pauseMu  sync.Mutex
+	resumeCh chan struct{} // non-nil while paused; closed by Resume
 }
 
 // New creates a device on the given transport. reg receives the device's
@@ -258,6 +262,9 @@ func (d *Device) CallService(ctx context.Context, name string, args map[string]a
 		where = "remote"
 	}
 	d.reg.Histogram("service." + name + "." + where).Observe(time.Since(start))
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		d.reg.Meter("rpc.timeouts").Mark()
+	}
 	return resp, err
 }
 
@@ -282,6 +289,63 @@ func (d *Device) callService(ctx context.Context, name string, args map[string]a
 
 	resp, err := client.Call(ctx, name, args, f)
 	return resp, true, err
+}
+
+// Pause freezes the device — the chaos engine's reboot/crash hook. Module
+// event loops stop consuming events and locally hosted service pools stop
+// serving (remote callers block until their deadlines) until Resume.
+// Network endpoints stay bound, mirroring a hung rather than powered-off
+// host; pair with netsim.Partition to model a full outage.
+func (d *Device) Pause() {
+	d.pauseMu.Lock()
+	if d.resumeCh == nil {
+		d.resumeCh = make(chan struct{})
+	}
+	d.pauseMu.Unlock()
+	d.mu.Lock()
+	pools := make([]*services.Pool, 0, len(d.pools))
+	for _, p := range d.pools {
+		pools = append(pools, p)
+	}
+	d.mu.Unlock()
+	for _, p := range pools {
+		p.Pause()
+	}
+}
+
+// Resume releases a paused device; modules and pools pick up where they
+// stopped.
+func (d *Device) Resume() {
+	d.pauseMu.Lock()
+	if d.resumeCh != nil {
+		close(d.resumeCh)
+		d.resumeCh = nil
+	}
+	d.pauseMu.Unlock()
+	d.mu.Lock()
+	pools := make([]*services.Pool, 0, len(d.pools))
+	for _, p := range d.pools {
+		pools = append(pools, p)
+	}
+	d.mu.Unlock()
+	for _, p := range pools {
+		p.Resume()
+	}
+}
+
+// Paused reports whether the device is currently frozen.
+func (d *Device) Paused() bool {
+	d.pauseMu.Lock()
+	defer d.pauseMu.Unlock()
+	return d.resumeCh != nil
+}
+
+// pauseGate returns the channel module event loops wait on while the
+// device is paused, or nil when running.
+func (d *Device) pauseGate() <-chan struct{} {
+	d.pauseMu.Lock()
+	defer d.pauseMu.Unlock()
+	return d.resumeCh
 }
 
 // HasService reports whether the device can reach the named service at

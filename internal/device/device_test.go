@@ -804,3 +804,125 @@ func TestModuleUpdateKeepsEndpointAndRoutes(t *testing.T) {
 		t.Errorf("updated sender's tag = %v, want 2ms", got)
 	}
 }
+
+func TestDevicePauseFreezesModulesAndPools(t *testing.T) {
+	nw := testNet()
+	d := newDevice(t, nw, "desktop", Desktop)
+	if _, err := d.DeployService(echoSpec("svc"), 1); err != nil {
+		t.Fatalf("DeployService: %v", err)
+	}
+	src := `
+		function event_received(message) { metric("handled", 1); }
+	`
+	m, err := d.SpawnModule(ModuleSpec{Name: "m", Source: src})
+	if err != nil {
+		t.Fatalf("SpawnModule: %v", err)
+	}
+
+	if err := m.Inject(context.Background(), nil, nil); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	waitFor(t, func() bool { return d.Metrics().Histogram("stage.handled").Count() == 1 })
+
+	if d.Paused() {
+		t.Error("fresh device reports paused")
+	}
+	d.Pause()
+	if !d.Paused() {
+		t.Error("Paused() false after Pause")
+	}
+
+	// Events injected during the pause are held, not processed.
+	if err := m.Inject(context.Background(), nil, nil); err != nil {
+		t.Fatalf("Inject while paused: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if got := d.Metrics().Histogram("stage.handled").Count(); got != 1 {
+		t.Errorf("paused module handled %d events, want 1 (pre-pause only)", got)
+	}
+
+	// Hosted pools are frozen too: a bounded call fails on deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	if _, err := d.CallService(ctx, "svc", nil, nil); err == nil {
+		t.Error("service call on a paused device succeeded")
+	}
+	cancel()
+
+	// Resume: the held event drains and new work flows.
+	d.Resume()
+	waitFor(t, func() bool { return d.Metrics().Histogram("stage.handled").Count() == 2 })
+	if _, err := d.CallService(context.Background(), "svc", nil, nil); err != nil {
+		t.Errorf("service call after resume: %v", err)
+	}
+	if d.Paused() {
+		t.Error("Paused() true after Resume")
+	}
+}
+
+func TestModulePausedCloseReleasesHeldFrame(t *testing.T) {
+	nw := testNet()
+	d := newDevice(t, nw, "desktop", Desktop)
+	src := `
+		function event_received(message) { frame_done(); }
+	`
+	m, err := d.SpawnModule(ModuleSpec{Name: "m", Source: src})
+	if err != nil {
+		t.Fatalf("SpawnModule: %v", err)
+	}
+	d.Pause()
+	if err := m.Inject(context.Background(), nil, frame.MustNew(16, 16)); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Closing a paused module must not deadlock or leak the held frame.
+	m.Close()
+	d.Resume()
+	waitFor(t, func() bool { return d.Store().Len() == 0 })
+}
+
+func TestModuleAbandonedFrameReturnsCredit(t *testing.T) {
+	nw := testNet()
+	d := newDevice(t, nw, "desktop", Desktop)
+	src := `
+		function event_received(message) {
+			if (message.fail) { boom(); } // undefined function: runtime error
+			frame_done();
+		}
+	`
+	m, err := d.SpawnModule(ModuleSpec{Name: "m", Source: src})
+	if err != nil {
+		t.Fatalf("SpawnModule: %v", err)
+	}
+	var done, abandoned atomic.Int64
+	m.SetFrameDone(func() { done.Add(1) })
+	m.SetFrameAbandoned(func() { abandoned.Add(1) })
+
+	if err := m.Inject(context.Background(), map[string]any{"fail": true}, frame.MustNew(8, 8)); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	waitFor(t, func() bool { return abandoned.Load() == 1 })
+	if done.Load() != 0 {
+		t.Errorf("frame_done fired on a failing event: %d", done.Load())
+	}
+
+	// A successful event fires frame_done, not the abandoned hook.
+	if err := m.Inject(context.Background(), nil, frame.MustNew(8, 8)); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	waitFor(t, func() bool { return done.Load() == 1 })
+	if abandoned.Load() != 1 {
+		t.Errorf("abandoned fired on a successful event: %d", abandoned.Load())
+	}
+
+	// An error without a frame returns no credit (nothing was consumed).
+	if err := m.Inject(context.Background(), map[string]any{"fail": true}, nil); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	waitFor(t, func() bool { return d.Metrics().Meter("module.m.errors").Count() == 2 })
+	if abandoned.Load() != 1 {
+		t.Errorf("frameless error returned a credit: %d", abandoned.Load())
+	}
+	if got := d.Metrics().Meter("module.m.abandoned").Count(); got != 1 {
+		t.Errorf("abandoned meter = %d, want 1", got)
+	}
+}

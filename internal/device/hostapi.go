@@ -227,6 +227,7 @@ func (m *Module) hostLog(args []script.Value) (script.Value, error) {
 // runtime also records end-to-end pipeline latency from the current
 // frame's capture timestamp.
 func (m *Module) hostFrameDone([]script.Value) (script.Value, error) {
+	m.frameDoneSeen = true
 	if m.currentFrame != nil && !m.currentFrame.Captured.IsZero() {
 		m.dev.reg.Histogram("pipeline." + m.spec.Name + ".e2e").Observe(time.Since(m.currentFrame.Captured))
 	}

@@ -79,10 +79,15 @@ type Module struct {
 	// onFrameDone is invoked when module code calls frame_done() — the
 	// queue-free flow-control signal back to the pipeline source (§2.3).
 	onFrameDone func()
+	// onFrameAbandoned fires when an event that owned a frame errors out
+	// before frame_done() was called, so the pipeline can reclaim the
+	// credit instead of leaking it for the rest of the run.
+	onFrameAbandoned func()
 
 	// per-event state, touched only by the event loop goroutine.
-	ownedRefs    []uint64
-	currentFrame *frame.Frame
+	ownedRefs     []uint64
+	currentFrame  *frame.Frame
+	frameDoneSeen bool
 
 	closeOnce sync.Once
 	loadErr   error
@@ -166,6 +171,10 @@ func (m *Module) Addr() net.Addr { return m.pull.Addr() }
 
 // SetFrameDone installs the flow-control callback fired by frame_done().
 func (m *Module) SetFrameDone(fn func()) { m.onFrameDone = fn }
+
+// SetFrameAbandoned installs the callback fired when an event carrying a
+// frame fails before reaching frame_done().
+func (m *Module) SetFrameAbandoned(fn func()) { m.onFrameAbandoned = fn }
 
 // Inject delivers an event directly from Go — how the video source (a
 // camera, not a script) feeds the first module. The frame, if any, is
@@ -332,9 +341,28 @@ func (m *Module) UpdateSource(source string) error {
 }
 
 func (m *Module) handleEvent(ev event) {
+	// A paused device (chaos reboot) holds the event until Resume; the
+	// single-slot channel upstream means flow control sees the stall and
+	// the source drops frames instead of queueing.
+	for {
+		ch := m.dev.pauseGate()
+		if ch == nil {
+			break
+		}
+		select {
+		case <-ch:
+		case <-m.done:
+			if ev.frameID != 0 {
+				m.dev.store.Release(ev.frameID)
+			}
+			return
+		}
+	}
+
 	start := time.Now()
 	m.ownedRefs = m.ownedRefs[:0]
 	m.currentFrame = nil
+	m.frameDoneSeen = false
 	if ev.frameID != 0 {
 		m.ownedRefs = append(m.ownedRefs, ev.frameID)
 		if f, err := m.dev.store.Get(ev.frameID); err == nil {
@@ -349,6 +377,12 @@ func (m *Module) handleEvent(ev event) {
 	_, err := m.ctx.Call("event_received", script.FromGo(anyMap(ev.body)))
 	if err != nil {
 		m.dev.reg.Meter("module." + m.spec.Name + ".errors").Mark()
+		// The frame this event owned will never reach frame_done();
+		// return its credit so the source is not starved forever.
+		if ev.frameID != 0 && !m.frameDoneSeen && m.onFrameAbandoned != nil {
+			m.dev.reg.Meter("module." + m.spec.Name + ".abandoned").Mark()
+			m.onFrameAbandoned()
+		}
 	}
 
 	// Release every frame reference this event owned; anything handed to a

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"videopipe/internal/apps"
+	"videopipe/internal/chaos"
+	"videopipe/internal/core"
+	"videopipe/internal/services"
+)
+
+// ---- Resilience experiment: deterministic fault injection ----
+
+// ChaosScenario is one resilience case: a pipeline workload plus a fault
+// schedule, either literal or generated from the experiment seed.
+type ChaosScenario struct {
+	// Name labels the scenario in the results table.
+	Name string
+	// Schedule is the literal fault plan; nil generates one from Gen.
+	Schedule chaos.Schedule
+	// Gen derives the schedule from the experiment seed when Schedule is
+	// nil.
+	Gen *chaos.GenOptions
+	// SourceFPS is the fitness source rate; zero selects 15.
+	SourceFPS float64
+	// Shared also runs the gesture pipeline concurrently, so faults land
+	// on a service pool two pipelines share (§5.2.2 under failure).
+	Shared bool
+}
+
+// schedule resolves the scenario's fault plan for a seed.
+func (sc ChaosScenario) schedule(seed int64) chaos.Schedule {
+	if sc.Schedule != nil {
+		return sc.Schedule.Sorted()
+	}
+	if sc.Gen != nil {
+		return chaos.Generate(seed, *sc.Gen)
+	}
+	return nil
+}
+
+// DefaultChaosScenarios are the paper-testbed failure stories: flaky home
+// Wi-Fi between the phone and the desktop, the desktop rebooting mid-run,
+// and the shared pose pool dying under two-pipeline load.
+func DefaultChaosScenarios() []ChaosScenario {
+	return []ChaosScenario{
+		{
+			Name: "flaky_wifi",
+			Gen: &chaos.GenOptions{
+				Horizon:     1200 * time.Millisecond,
+				Events:      3,
+				Links:       []string{chaos.LinkTarget("phone", "desktop")},
+				MinDuration: 200 * time.Millisecond,
+				MaxDuration: 600 * time.Millisecond,
+			},
+		},
+		{
+			Name: "desktop_reboot",
+			Schedule: chaos.Schedule{
+				{At: 400 * time.Millisecond, Kind: chaos.KindPauseDevice, Target: "desktop", Duration: 800 * time.Millisecond},
+			},
+		},
+		{
+			Name:   "pose_pool_kill",
+			Shared: true,
+			Schedule: chaos.Schedule{
+				{At: 400 * time.Millisecond, Kind: chaos.KindKillService, Target: services.PoseDetector, Duration: time.Second},
+			},
+		},
+	}
+}
+
+// ChaosRow is one scenario's outcome.
+type ChaosRow struct {
+	Scenario string
+	// Fingerprint is the canonical schedule text; identical across runs
+	// with the same seed.
+	Fingerprint string
+	// Applied is the injector's log, in injection order.
+	Applied []chaos.Applied
+	// PreFPS and PostFPS are delivered rates in clean windows before and
+	// after the fault run; recovery demands Post >= ~0.9 Pre.
+	PreFPS  float64
+	PostFPS float64
+	// DuringFPS is the delivered rate across the fault window.
+	DuringFPS float64
+	// Recovery is how long after the last fault reversed the pipeline
+	// took to sustain >= 90% of PreFPS; negative means it never did
+	// within the observation window.
+	Recovery time.Duration
+	// DegradedSeconds is the monitor-observed degraded time during the
+	// fault run.
+	DegradedSeconds float64
+}
+
+// Chaos runs every scenario: a clean pre-fault window, a fault window
+// driven by the seeded injector, and a clean post-fault window, measuring
+// recovery rate and time. The same seed replays the identical fault
+// sequence.
+func Chaos(o Options, seed int64, scenarios []ChaosScenario) ([]ChaosRow, error) {
+	reg, err := o.registry()
+	if err != nil {
+		return nil, err
+	}
+	if scenarios == nil {
+		scenarios = DefaultChaosScenarios()
+	}
+	rows := make([]ChaosRow, 0, len(scenarios))
+	for _, sc := range scenarios {
+		row, err := runChaosScenario(reg, sc, seed, o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos %s: %w", sc.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Options) (ChaosRow, error) {
+	cluster, err := core.NewCluster(apps.HomeClusterSpec(), reg)
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	defer cluster.Close()
+
+	fps := sc.SourceFPS
+	if fps <= 0 {
+		fps = 15
+	}
+	name := "chaos_" + sc.Name
+	fit, err := cluster.Launch(apps.FitnessConfig(name, fps, o.scene()), core.CoLocatePlanner{})
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	var gest *core.Pipeline
+	if sc.Shared {
+		if gest, err = cluster.Launch(apps.GestureConfig(name+"_gest", fps, "clap"), core.CoLocatePlanner{}); err != nil {
+			return ChaosRow{}, err
+		}
+	}
+
+	// run executes one measurement window across the launched pipelines
+	// and returns the fitness pipeline's delivered rate. The rate is
+	// count-over-window rather than the meter's first-to-last-mark rate:
+	// at the low frame counts of short windows the latter swings with
+	// delivery clustering, while phases here compare like-for-like
+	// fixed-length windows.
+	run := func(dur time.Duration) (float64, error) {
+		cluster.Metrics().Reset()
+		var wg sync.WaitGroup
+		var fitRes core.RunResult
+		var fitErr, gestErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fitRes, fitErr = fit.Run(context.Background(), dur)
+		}()
+		if gest != nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, gestErr = gest.Run(context.Background(), dur)
+			}()
+		}
+		wg.Wait()
+		if fitErr != nil {
+			return 0, fitErr
+		}
+		if gestErr != nil {
+			return 0, gestErr
+		}
+		if fitRes.Duration <= 0 {
+			return 0, nil
+		}
+		return float64(fitRes.Delivered) / fitRes.Duration.Seconds(), nil
+	}
+
+	row := ChaosRow{Scenario: sc.Name}
+	schedule := sc.schedule(seed)
+	row.Fingerprint = schedule.Fingerprint()
+
+	// Warm-up: the first run after launch reports an inflated rate — its
+	// few deliveries cluster after connection setup, compressing the
+	// meter's first-to-last window — so reach steady state before the
+	// pre-fault baseline is measured.
+	warm := o.duration() / 2
+	if warm < 500*time.Millisecond {
+		warm = 500 * time.Millisecond
+	}
+	if _, err := run(warm); err != nil {
+		return ChaosRow{}, err
+	}
+
+	// Phase 1: clean pre-fault window.
+	if row.PreFPS, err = run(o.duration()); err != nil {
+		return ChaosRow{}, err
+	}
+
+	// Phase 2: fault window. The injector drives the schedule while the
+	// pipelines run; a sampler tracks the delivered counter so recovery
+	// time is measured from the moment the last fault reverses.
+	var faultEnd time.Duration
+	for _, ev := range schedule {
+		if end := ev.At + ev.Duration; end > faultEnd {
+			faultEnd = end
+		}
+	}
+	chaosDur := faultEnd + o.duration()
+
+	mon := core.NewMonitor(cluster)
+	mon.StallAfter = 500 * time.Millisecond
+	monCtx, monCancel := context.WithCancel(context.Background())
+	go mon.Run(monCtx, nil)
+
+	delivered := func() uint64 {
+		return cluster.Metrics().Meter("pipeline." + name + ".display.frames_done").Count()
+	}
+	var (
+		samplesMu sync.Mutex
+		samples   []deliverySample
+		healedAt  time.Time
+	)
+	samplerCtx, samplerCancel := context.WithCancel(context.Background())
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerCtx.Done():
+				return
+			case now := <-tick.C:
+				samplesMu.Lock()
+				samples = append(samples, deliverySample{at: now, count: delivered()})
+				samplesMu.Unlock()
+			}
+		}
+	}()
+	inj := chaos.NewInjector(cluster)
+	go func() {
+		defer aux.Done()
+		inj.Run(samplerCtx, schedule)
+		samplesMu.Lock()
+		healedAt = time.Now()
+		samplesMu.Unlock()
+	}()
+
+	row.DuringFPS, err = run(chaosDur)
+	monCancel()
+	if err != nil {
+		samplerCancel()
+		aux.Wait()
+		return ChaosRow{}, err
+	}
+	row.Applied = inj.Applied()
+	row.DegradedSeconds = mon.DegradedSeconds(name)
+
+	// Phase 3: clean post-fault window. The sampler keeps running so the
+	// recovery clock can land here when the pipeline was still draining
+	// at the end of the fault window.
+	row.PostFPS, err = run(o.duration())
+	samplerCancel()
+	aux.Wait()
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	row.Recovery = recoveryTime(samples, healedAt, row.PreFPS)
+	return row, nil
+}
+
+// deliverySample is one timestamped reading of a sink's delivered
+// counter.
+type deliverySample struct {
+	at    time.Time
+	count uint64
+}
+
+// recoveryTime finds how long after healedAt the sampled delivered
+// counter first sustained >= 90% of preFPS over a trailing window. It
+// returns a negative duration when the rate never recovered in-sample.
+func recoveryTime(samples []deliverySample, healedAt time.Time, preFPS float64) time.Duration {
+	const window = 500 * time.Millisecond
+	target := 0.9 * preFPS
+	if healedAt.IsZero() || preFPS <= 0 {
+		return -1
+	}
+	for i := range samples {
+		if samples[i].at.Before(healedAt) {
+			continue
+		}
+		// Find the sample a window earlier.
+		j := i
+		for j > 0 && samples[i].at.Sub(samples[j-1].at) <= window {
+			j--
+		}
+		span := samples[i].at.Sub(samples[j].at).Seconds()
+		if span <= 0 || samples[i].count < samples[j].count {
+			continue
+		}
+		rate := float64(samples[i].count-samples[j].count) / span
+		if rate >= target {
+			d := samples[i].at.Sub(healedAt)
+			if d < 0 {
+				d = 0
+			}
+			return d
+		}
+	}
+	return -1
+}
+
+// FormatChaos renders scenario rows as the recovery-time table.
+func FormatChaos(rows []ChaosRow, seed int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos resilience (seed %d)\n", seed)
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %10s %10s %7s\n",
+		"Scenario", "Pre FPS", "During", "Post", "Recovery", "Degraded", "Faults")
+	for _, r := range rows {
+		rec := "never"
+		if r.Recovery >= 0 {
+			rec = r.Recovery.Round(10 * time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-16s %8.2f %8.2f %8.2f %10s %9.1fs %7d\n",
+			r.Scenario, r.PreFPS, r.DuringFPS, r.PostFPS, rec, r.DegradedSeconds, len(r.Applied))
+	}
+	return b.String()
+}

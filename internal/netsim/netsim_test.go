@@ -631,3 +631,44 @@ func TestConnTrackingPrunes(t *testing.T) {
 		t.Errorf("tracking %d conns after 50 closed dials; pruning broken", n)
 	}
 }
+
+func TestShapeAffectsEstablishedConnections(t *testing.T) {
+	nw := fastNet()
+	client, server := dialPair(t, nw, "phone", "desktop")
+	defer client.Close()
+	defer server.Close()
+
+	roundTrip := func() time.Duration {
+		start := time.Now()
+		if _, err := client.Write([]byte("x")); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		buf := make([]byte, 1)
+		if _, err := server.Read(buf); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		return time.Since(start)
+	}
+
+	if d := roundTrip(); d > 50*time.Millisecond {
+		t.Fatalf("unshaped delivery took %v", d)
+	}
+
+	// A latency spike applied mid-connection must slow the existing pipe.
+	nw.Shape("phone", "desktop", LinkProfile{Latency: 30 * time.Millisecond})
+	if !nw.Shaped("phone", "desktop") {
+		t.Fatal("Shaped not reported after Shape")
+	}
+	if d := roundTrip(); d < 30*time.Millisecond {
+		t.Errorf("shaped delivery took %v, want >= 30ms", d)
+	}
+
+	// Clearing the shape restores the configured (fast) profile.
+	nw.ClearShape("phone", "desktop")
+	if nw.Shaped("phone", "desktop") {
+		t.Fatal("Shaped still reported after ClearShape")
+	}
+	if d := roundTrip(); d > 50*time.Millisecond {
+		t.Errorf("delivery after ClearShape took %v", d)
+	}
+}

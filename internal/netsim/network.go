@@ -41,7 +41,8 @@ type Network struct {
 	mu           sync.Mutex
 	defaultLink  LinkProfile
 	links        map[hostPair]LinkProfile
-	listeners    map[string]*listener // key host:port
+	shapes       map[hostPair]LinkProfile // transient overrides (chaos)
+	listeners    map[string]*listener     // key host:port
 	nextPort     map[string]int
 	nextPipeSeed int64
 	partitioned  map[hostPair]bool
@@ -54,6 +55,7 @@ func NewNetwork(def LinkProfile) *Network {
 	return &Network{
 		defaultLink:  def,
 		links:        make(map[hostPair]LinkProfile),
+		shapes:       make(map[hostPair]LinkProfile),
 		listeners:    make(map[string]*listener),
 		nextPort:     make(map[string]int),
 		nextPipeSeed: 1,
@@ -70,10 +72,39 @@ func (n *Network) SetLink(a, b string, p LinkProfile) {
 	n.links[makePair(a, b)] = p
 }
 
+// Shape installs a transient profile override between two hosts — the
+// failure-injection knob for latency spikes and loss bursts. Unlike
+// SetLink it takes effect on established connections immediately (every
+// pipe resolves its profile per write) and is reversed by ClearShape.
+func (n *Network) Shape(a, b string, p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.shapes[makePair(a, b)] = p
+}
+
+// ClearShape removes a Shape override, restoring the configured profile.
+func (n *Network) ClearShape(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.shapes, makePair(a, b))
+}
+
+// Shaped reports whether a transient shaping override is active between
+// two hosts.
+func (n *Network) Shaped(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.shapes[makePair(a, b)]
+	return ok
+}
+
 // linkProfile reports the profile between two hosts.
 func (n *Network) linkProfile(a, b string) LinkProfile {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if p, ok := n.shapes[makePair(a, b)]; ok {
+		return p
+	}
 	if p, ok := n.links[makePair(a, b)]; ok {
 		return p
 	}
@@ -156,9 +187,11 @@ func (n *Network) Dial(fromHost, address string) (net.Conn, error) {
 	localPort := n.allocPortLocked(fromHost)
 	n.mu.Unlock()
 
-	profile := n.linkProfile(fromHost, host)
+	// Pipes resolve the profile per write so shaping changes mid-connection
+	// (Shape/ClearShape) apply to traffic already in flight.
+	profile := func() LinkProfile { return n.linkProfile(fromHost, host) }
 	// Handshake: one round trip before the connection is usable.
-	if rtt := profile.RTT(); rtt > 0 {
+	if rtt := profile().RTT(); rtt > 0 {
 		time.Sleep(rtt)
 	}
 

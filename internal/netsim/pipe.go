@@ -28,9 +28,11 @@ type chunk struct {
 
 // shapedPipe is a unidirectional, shaped byte stream. Writers append chunks
 // whose delivery times reflect the link profile; readers block until the
-// head chunk's delivery time has passed.
+// head chunk's delivery time has passed. The profile is resolved per write
+// through a getter so mid-connection shaping changes (chaos latency spikes,
+// loss bursts) affect established connections, not just new dials.
 type shapedPipe struct {
-	profile LinkProfile
+	profile func() LinkProfile
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -49,9 +51,9 @@ type shapedPipe struct {
 // writers block, modelling a bounded socket buffer.
 const maxBuffered = 4 << 20
 
-func newShapedPipe(p LinkProfile, seed int64) *shapedPipe {
+func newShapedPipe(profile func() LinkProfile, seed int64) *shapedPipe {
 	return &shapedPipe{
-		profile: p,
+		profile: profile,
 		rng:     rand.New(rand.NewSource(seed)),
 		notify:  make(chan struct{}),
 	}
@@ -81,14 +83,15 @@ func (p *shapedPipe) write(b []byte) (int, error) {
 		p.wait(p.writeDeadline)
 	}
 
+	prof := p.profile()
 	now := time.Now()
 	start := now
 	if p.nextFree.After(start) {
 		start = p.nextFree
 	}
-	txEnd := start.Add(p.profile.txDelay(len(b)))
+	txEnd := start.Add(prof.txDelay(len(b)))
 	p.nextFree = txEnd
-	readyAt := txEnd.Add(p.profile.chunkDelay(p.rng))
+	readyAt := txEnd.Add(prof.chunkDelay(p.rng))
 
 	data := make([]byte, len(b))
 	copy(data, b)

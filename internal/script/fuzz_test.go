@@ -1,0 +1,64 @@
+package script
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeeds are hand-picked inputs exercising every syntactic corner the
+// grammar has tripped on: empty programs, nesting, operator precedence,
+// unterminated constructs and stray bytes.
+var fuzzSeeds = []string{
+	"",
+	";",
+	"var x = 1;",
+	"function event_received(message) { frame_done(); }",
+	"function f(a, b) { return a + b * -c; }",
+	"if (x) { y(); } else if (z) { w(); }",
+	"while (i < 10) { i = i + 1; }",
+	"for (var i = 0; i < n; i = i + 1) { emit(i); }",
+	"var o = { a: 1, b: [1, 2, 3], c: { d: \"s\" } };",
+	"var s = \"escaped \\\" quote and \\n newline\";",
+	"x = a && b || !c == d != e <= f >= g;",
+	"call_service(\"pose_detector\", {frame_ref: m.frame_ref});",
+	"// comment only\n",
+	"/* block\ncomment */ var x = 0;",
+	"function broken( {",
+	"var x = ;",
+	"\"unterminated",
+	"}{",
+	"var \x00 = 1;",
+	"function event_received(m) { return { nested: [{}, [[]]] }; }",
+}
+
+// FuzzParse feeds arbitrary source through the full front end — lexer,
+// parser and static analyzer — asserting none of it panics. Parse errors
+// are expected and fine; crashing on malformed input is not.
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	// The example PipeScript modules are the richest well-formed seeds.
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "configs", "*.js"))
+	if err != nil {
+		f.Fatalf("glob examples: %v", err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("read %s: %v", p, err)
+		}
+		f.Add(string(src))
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parse(src)
+		if err != nil && prog != nil {
+			t.Errorf("parse returned both a program and error %v", err)
+		}
+		// The analyzer must also hold on anything the parser accepts
+		// (and on anything it rejects — Analyze reports, never panics).
+		_ = Analyze(src, Options{RequireEventReceived: true})
+	})
+}

@@ -118,6 +118,9 @@ type Pool struct {
 	mu        sync.Mutex
 	instances []*Instance
 	next      int
+	// gate is non-nil while the pool is paused (chaos: host device down);
+	// Invoke blocks on it until Resume closes it.
+	gate chan struct{}
 
 	wait *metrics.Histogram
 }
@@ -222,8 +225,60 @@ func (p *Pool) Scale(ctx context.Context, n int) error {
 	return nil
 }
 
+// Kill removes up to k instances from the pool — the chaos engine's
+// service-failure hook. Unlike Scale it may empty the pool entirely, after
+// which Invoke fails until the pool is restored with Scale. In-flight
+// requests on removed instances complete (instances are only garbage once
+// callers drain). It returns the number of instances removed.
+func (p *Pool) Kill(k int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k > len(p.instances) {
+		k = len(p.instances)
+	}
+	if k <= 0 {
+		return 0
+	}
+	p.instances = p.instances[:len(p.instances)-k]
+	if p.next >= len(p.instances) {
+		p.next = 0
+	}
+	return k
+}
+
+// Pause freezes the pool: Invoke blocks (bounded by its context) until
+// Resume. It models the hosting device going down with requests in flight.
+func (p *Pool) Pause() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.gate == nil {
+		p.gate = make(chan struct{})
+	}
+}
+
+// Resume releases a paused pool; blocked Invokes proceed.
+func (p *Pool) Resume() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.gate != nil {
+		close(p.gate)
+		p.gate = nil
+	}
+}
+
 // Invoke dispatches a request to the least-loaded instance.
 func (p *Pool) Invoke(ctx context.Context, req Request) (Response, error) {
+	p.mu.Lock()
+	gate := p.gate
+	p.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return Response{}, fmt.Errorf("services: %s paused: %w", p.spec.Name, ctx.Err())
+		}
+	}
+
 	p.mu.Lock()
 	if len(p.instances) == 0 {
 		p.mu.Unlock()

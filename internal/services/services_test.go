@@ -763,3 +763,82 @@ func TestDisplayWithoutReturnFrame(t *testing.T) {
 		t.Errorf("result = %v", resp.Result)
 	}
 }
+
+func TestPoolKill(t *testing.T) {
+	spec := Spec{
+		Name: "victim", Handler: func(context.Context, Request) (Response, error) { return Response{}, nil },
+	}
+	p, _ := NewPool(spec, 3, 1.0)
+	if got := p.Kill(2); got != 2 {
+		t.Errorf("Kill(2) = %d", got)
+	}
+	if p.Size() != 1 {
+		t.Errorf("Size after Kill(2) = %d", p.Size())
+	}
+	// Unlike Scale, Kill may take the pool to zero.
+	if got := p.Kill(5); got != 1 {
+		t.Errorf("Kill(5) = %d, want 1 (all that remained)", got)
+	}
+	if p.Size() != 0 {
+		t.Errorf("Size after killing all = %d", p.Size())
+	}
+	if _, err := p.Invoke(context.Background(), Request{}); err == nil {
+		t.Error("Invoke on an emptied pool succeeded")
+	}
+	if got := p.Kill(1); got != 0 {
+		t.Errorf("Kill on empty pool = %d", got)
+	}
+	// Restart path: Scale restores service from zero.
+	if err := p.Scale(context.Background(), 2); err != nil {
+		t.Fatalf("Scale after kill: %v", err)
+	}
+	if _, err := p.Invoke(context.Background(), Request{}); err != nil {
+		t.Errorf("Invoke after restore: %v", err)
+	}
+}
+
+func TestPoolPauseResume(t *testing.T) {
+	spec := Spec{
+		Name: "frozen", Handler: func(context.Context, Request) (Response, error) { return Response{}, nil },
+	}
+	p, _ := NewPool(spec, 1, 1.0)
+	p.Pause()
+
+	// A paused pool holds requests until the caller's deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := p.Invoke(ctx, Request{}); err == nil {
+		t.Error("Invoke on a paused pool succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("paused Invoke failed after %v, want to block until the deadline", elapsed)
+	}
+
+	// Resume releases a request blocked mid-pause.
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Invoke(context.Background(), Request{})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("Invoke returned while paused: %v", err)
+	default:
+	}
+	p.Resume()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Invoke after resume: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Invoke still blocked after Resume")
+	}
+	// Idempotent.
+	p.Resume()
+	p.Pause()
+	p.Pause()
+	p.Resume()
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,19 +32,34 @@ type RemoteError struct {
 // Error satisfies the error interface.
 func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
 
+// Per-call resilience defaults. A mid-call link failure must surface as an
+// error within the deadline rather than stranding the caller until the link
+// heals; the retry budget bounds reconnect attempts so a dead peer fails
+// fast instead of spinning on backoff.
+const (
+	// DefaultCallTimeout bounds one Call end to end, attempts included.
+	DefaultCallTimeout = 10 * time.Second
+	// DefaultRetryBudget is the maximum connection attempts per Call.
+	DefaultRetryBudget = 8
+)
+
 // Caller is the requesting side of the service-call path. It multiplexes
 // concurrent in-flight calls over one connection and reconnects after
-// failures.
+// failures, bounded by a per-call deadline and retry budget.
 type Caller struct {
 	transport Transport
 	address   string
 
-	mu      sync.Mutex
-	conn    net.Conn
-	writeMu sync.Mutex
-	pending map[uint64]chan callResult
-	nextID  uint64
-	closed  bool
+	mu          sync.Mutex
+	conn        net.Conn
+	writeMu     sync.Mutex
+	pending     map[uint64]chan callResult
+	nextID      uint64
+	closed      bool
+	callTimeout time.Duration
+	retryBudget int
+
+	timeouts atomic.Uint64
 }
 
 type callResult struct {
@@ -51,37 +67,94 @@ type callResult struct {
 	err error
 }
 
-// DialCaller creates a caller that will connect to address on first use.
+// DialCaller creates a caller that will connect to address on first use,
+// with the default per-call deadline and retry budget.
 func DialCaller(t Transport, address string) *Caller {
-	return &Caller{transport: t, address: address, pending: make(map[uint64]chan callResult)}
+	return &Caller{
+		transport:   t,
+		address:     address,
+		pending:     make(map[uint64]chan callResult),
+		callTimeout: DefaultCallTimeout,
+		retryBudget: DefaultRetryBudget,
+	}
 }
 
 // Address reports the remote address this caller targets.
 func (c *Caller) Address() string { return c.address }
 
+// SetCallTimeout overrides the per-call deadline; d <= 0 disables it (the
+// caller's context alone bounds the call).
+func (c *Caller) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.callTimeout = d
+}
+
+// SetRetryBudget overrides the per-call connection-attempt budget; n <= 0
+// removes the bound (retries continue until the deadline).
+func (c *Caller) SetRetryBudget(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retryBudget = n
+}
+
+// Timeouts reports how many calls this caller has failed on deadline.
+func (c *Caller) Timeouts() uint64 { return c.timeouts.Load() }
+
 // Call sends req and waits for the matching response. Concurrent calls are
-// multiplexed; connection failures are retried with backoff until ctx is
-// done. A *RemoteError return means the remote handler itself failed.
+// multiplexed; connection failures are retried with backoff until the
+// per-call deadline, the retry budget or ctx ends the call. A *RemoteError
+// return means the remote handler itself failed; a deadline failure
+// satisfies errors.Is(err, context.DeadlineExceeded).
 func (c *Caller) Call(ctx context.Context, req Message) (Message, error) {
+	c.mu.Lock()
+	timeout := c.callTimeout
+	budget := c.retryBudget
+	c.mu.Unlock()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
 	backoff := backoffMin
+	attempts := 0
 	for {
 		resp, err := c.tryCall(ctx, req)
 		if err == nil {
 			return resp, nil
 		}
 		var remote *RemoteError
-		if errors.As(err, &remote) || errors.Is(err, ErrClosed) || ctx.Err() != nil {
+		if errors.As(err, &remote) || errors.Is(err, ErrClosed) {
 			return Message{}, err
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Message{}, c.deadlineErr(ctxErr, err)
+		}
+		attempts++
+		if budget > 0 && attempts >= budget {
+			return Message{}, fmt.Errorf("wire: call %s: retry budget exhausted after %d attempts: %w", c.address, attempts, err)
 		}
 		select {
 		case <-ctx.Done():
-			return Message{}, fmt.Errorf("wire: call %s: %w (last error: %v)", c.address, ctx.Err(), err)
+			return Message{}, c.deadlineErr(ctx.Err(), err)
 		case <-time.After(backoff):
 		}
 		if backoff *= 2; backoff > backoffMax {
 			backoff = backoffMax
 		}
 	}
+}
+
+// deadlineErr wraps a context failure, counting expired deadlines.
+func (c *Caller) deadlineErr(ctxErr, last error) error {
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		c.timeouts.Add(1)
+	}
+	if errors.Is(last, ctxErr) {
+		return fmt.Errorf("wire: call %s: %w", c.address, ctxErr)
+	}
+	return fmt.Errorf("wire: call %s: %w (last error: %v)", c.address, ctxErr, last)
 }
 
 func (c *Caller) tryCall(ctx context.Context, req Message) (Message, error) {
