@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check test race cover bench chaos fuzz experiments examples clean
+.PHONY: all build vet lint check test race cover alloc bench chaos fuzz experiments examples clean
 
 all: build vet test
 
@@ -20,13 +20,22 @@ lint: vet
 	done
 
 # The pre-PR gate: everything that must be green before a change ships.
-check: build lint race
+# `race` reruns the allocation-regression tests under the race detector
+# (bounds logged, pool/scratch plumbing race-checked); `alloc` enforces
+# the exact allocs/op bounds, which only hold without instrumentation.
+check: build lint alloc race
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Allocation-regression gate: steady-state allocs/op on the frame codec
+# and wire message paths must stay pinned (near zero) after the buffer
+# pool / copy-elision work.
+alloc:
+	$(GO) test -run 'Allocs|ReleaseGuards' ./internal/frame ./internal/wire
 
 cover:
 	$(GO) test -cover ./...
@@ -61,4 +70,4 @@ examples:
 	$(GO) run ./examples/securitycam -dur 6s
 
 clean:
-	rm -f fitness_display.png test_output.txt bench_output.txt vpbench_results.txt
+	rm -f fitness_display.png test_output.txt bench_output.txt vpbench_results.txt BENCH_results.json

@@ -11,7 +11,9 @@
 package videopipe
 
 import (
+	"bytes"
 	"context"
+	"image/color"
 	"sync"
 	"testing"
 	"time"
@@ -299,6 +301,82 @@ func BenchmarkPlannerComparison(b *testing.B) {
 		}
 		for _, p := range points {
 			b.ReportMetric(p.FPS, p.Planner+"_fps")
+		}
+	}
+}
+
+// ---- Allocation microbenchmarks (data-plane fast path) ----
+//
+// Steady-state per-frame traffic should recycle buffers instead of
+// allocating: pixel buffers from frame.Pool, wire bytes into per-socket
+// scratch. Run with -benchmem; allocs/op is the number under test.
+
+func BenchmarkAllocsRawCodecRoundTrip(b *testing.B) {
+	f := frame.MustNewPooled(480, 360)
+	defer f.Release()
+	f.Fill(color.RGBA{R: 10, G: 20, B: 30, A: 255})
+	codec := frame.RawCodec{}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = codec.AppendEncode(buf[:0], f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := codec.Decode(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Release()
+	}
+}
+
+func BenchmarkAllocsFrameCloneRelease(b *testing.B) {
+	f := frame.MustNew(480, 360)
+	f.Fill(color.RGBA{R: 200, G: 100, B: 50, A: 255})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := f.Clone()
+		cl.Release()
+	}
+}
+
+func BenchmarkAllocsWireMessageRoundTrip(b *testing.B) {
+	m := wire.StringMessage("service", `{"x":1}`, "0123456789abcdef0123456789abcdef")
+	var scratch []byte
+	rd := bytes.NewReader(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		scratch, err = m.EncodeTo(scratch[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd.Reset(scratch)
+		if _, err := wire.ReadMessage(rd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocsJPEGEncodeScratch(b *testing.B) {
+	f := frame.MustNew(480, 360)
+	subject := vision.DefaultSubject()
+	subject.CenterX, subject.CenterY, subject.Scale = 240, 194, 60
+	vision.RenderScene(f, vision.SynthesizePose(vision.Idle, 0, subject, nil))
+	codec := frame.JPEGCodec{Quality: 85}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = codec.AppendEncode(buf[:0], f)
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -12,6 +12,11 @@
 // codec, broker, workers, planners, chaos, all. The chaos experiment
 // replays a seeded fault schedule (-seed) and prints a recovery-time
 // table per scenario.
+//
+// Alongside the text report, vpbench writes a machine-readable
+// BENCH_results.json (-out) holding every experiment's fps/latency
+// metrics, its wall time and heap-allocation cost, and the data-plane
+// counters (frame.pool.hit/miss, wire.bytes_copied).
 package main
 
 import (
@@ -30,16 +35,17 @@ func main() {
 		dur   = flag.Duration("dur", 3*time.Second, "measurement window per configuration")
 		scene = flag.String("scene", "squat", "exercise the synthetic subject performs")
 		seed  = flag.Int64("seed", 1, "seed for the accuracy experiments and the chaos fault schedule")
+		out   = flag.String("out", "BENCH_results.json", "machine-readable report path (empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *dur, *scene, *seed); err != nil {
+	if err := run(*exp, *dur, *scene, *seed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, dur time.Duration, scene string, seed int64) error {
+func run(exp string, dur time.Duration, scene string, seed int64, out string) error {
 	opts := experiments.Options{RunDuration: dur, Scene: scene}
 
 	// The heavier pipeline experiments share one paper-calibrated registry
@@ -58,27 +64,35 @@ func run(exp string, dur time.Duration, scene string, seed int64) error {
 		opts.Registry = reg
 	}
 
+	report := &benchReport{
+		GeneratedAt: time.Now().UTC(),
+		Scene:       scene,
+		WindowMS:    float64(dur) / float64(time.Millisecond),
+		Seed:        seed,
+	}
+
 	all := exp == "all"
 	ran := false
 	dispatch := []struct {
 		name string
-		fn   func(experiments.Options) error
+		fn   func(experiments.Options, *benchEntry) error
 	}{
 		{"fig6", runFig6},
 		{"table2", runTable2},
-		{"activity", func(o experiments.Options) error { return runActivity(seed) }},
-		{"repcount", func(o experiments.Options) error { return runRepCount(seed) }},
+		{"activity", func(o experiments.Options, e *benchEntry) error { return runActivity(seed, e) }},
+		{"repcount", func(o experiments.Options, e *benchEntry) error { return runRepCount(seed, e) }},
 		{"scaleout", runScaleOut},
 		{"queueing", runQueueing},
 		{"codec", runCodec},
 		{"broker", runBroker},
 		{"workers", runWorkers},
 		{"planners", runPlanners},
-		{"chaos", func(o experiments.Options) error { return runChaos(o, seed) }},
+		{"chaos", func(o experiments.Options, e *benchEntry) error { return runChaos(o, seed, e) }},
 	}
 	for _, d := range dispatch {
 		if all || exp == d.name {
-			if err := d.fn(opts); err != nil {
+			err := report.measure(d.name, func(e *benchEntry) error { return d.fn(opts, e) })
+			if err != nil {
 				return fmt.Errorf("%s: %w", d.name, err)
 			}
 			ran = true
@@ -87,6 +101,9 @@ func run(exp string, dur time.Duration, scene string, seed int64) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	if out != "" {
+		return report.write(out)
+	}
 	return nil
 }
 
@@ -94,7 +111,7 @@ func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
 }
 
-func runFig6(o experiments.Options) error {
+func runFig6(o experiments.Options, e *benchEntry) error {
 	header("Fig. 6 — per-stage latency, fitness pipeline @ 10 FPS source")
 	res, err := experiments.Fig6(o)
 	if err != nil {
@@ -102,10 +119,16 @@ func runFig6(o experiments.Options) error {
 	}
 	fmt.Print(res.Table())
 	fmt.Println("(paper shape: VideoPipe below baseline on pose and total; pose dominates the gap)")
+	for stage, d := range res.VideoPipe {
+		e.setDurationMS("videopipe."+stage+"_ms", d)
+	}
+	for stage, d := range res.Baseline {
+		e.setDurationMS("baseline."+stage+"_ms", d)
+	}
 	return nil
 }
 
-func runTable2(o experiments.Options) error {
+func runTable2(o experiments.Options, e *benchEntry) error {
 	header("Table 2 — end-to-end FPS vs source FPS")
 	rows, err := experiments.Table2(o, nil, nil)
 	if err != nil {
@@ -114,10 +137,19 @@ func runTable2(o experiments.Options) error {
 	fmt.Print(experiments.FormatTable2(rows))
 	fmt.Println("(paper shape: both track the source at 5; VideoPipe saturates ~11, baseline ~8.3;")
 	fmt.Println(" shared pipelines match solo rates until ~20, then contention caps each lower)")
+	for _, r := range rows {
+		src := fmt.Sprintf("%g", r.SourceFPS)
+		e.set("videopipe_fps_"+src, r.VideoPipe)
+		e.set("baseline_fps_"+src, r.Baseline)
+		if r.HasShared {
+			e.set("shared_fitness_fps_"+src, r.Shared[0])
+			e.set("shared_gesture_fps_"+src, r.Shared[1])
+		}
+	}
 	return nil
 }
 
-func runActivity(seed int64) error {
+func runActivity(seed int64, e *benchEntry) error {
 	header("§4.1.2 — activity recognition accuracy (withheld test set)")
 	res, err := experiments.ActivityAccuracy(seed)
 	if err != nil {
@@ -126,10 +158,13 @@ func runActivity(seed int64) error {
 	fmt.Printf("accuracy: %.1f%% over %d test windows (trained on %d)\n",
 		res.Accuracy*100, res.TestN, res.TrainN)
 	fmt.Println("(paper reports: above 90%)")
+	e.set("accuracy", res.Accuracy)
+	e.set("test_n", float64(res.TestN))
+	e.set("train_n", float64(res.TrainN))
 	return nil
 }
 
-func runRepCount(seed int64) error {
+func runRepCount(seed int64, e *benchEntry) error {
 	header("§4.1.3 — rep counting accuracy (withheld test set)")
 	trials, mean, err := experiments.RepCountingAccuracy(24, seed)
 	if err != nil {
@@ -141,10 +176,12 @@ func runRepCount(seed int64) error {
 	}
 	fmt.Printf("mean accuracy: %.1f%% over %d trials\n", mean*100, len(trials))
 	fmt.Println("(paper reports: 83.3%)")
+	e.set("mean_accuracy", mean)
+	e.set("trials", float64(len(trials)))
 	return nil
 }
 
-func runScaleOut(o experiments.Options) error {
+func runScaleOut(o experiments.Options, e *benchEntry) error {
 	header("§5.2.2 — scaling out the saturated pose service")
 	res, err := experiments.ScaleOut(o)
 	if err != nil {
@@ -153,10 +190,14 @@ func runScaleOut(o experiments.Options) error {
 	fmt.Printf("1 instance:  fitness %.2f fps, gesture %.2f fps\n", res.Before[0], res.Before[1])
 	fmt.Printf("2 instances: fitness %.2f fps, gesture %.2f fps\n", res.After[0], res.After[1])
 	fmt.Println("(expected: scaling the stateless service restores per-pipeline rates)")
+	e.set("before_fitness_fps", res.Before[0])
+	e.set("before_gesture_fps", res.Before[1])
+	e.set("after_fitness_fps", res.After[0])
+	e.set("after_gesture_fps", res.After[1])
 	return nil
 }
 
-func runQueueing(o experiments.Options) error {
+func runQueueing(o experiments.Options, e *benchEntry) error {
 	header("Ablation — queue-free flow control vs deeper admission")
 	points, err := experiments.AblationQueueing(o, nil)
 	if err != nil {
@@ -165,12 +206,15 @@ func runQueueing(o experiments.Options) error {
 	fmt.Printf("%-8s %10s %12s\n", "credits", "FPS", "e2e mean")
 	for _, p := range points {
 		fmt.Printf("%-8d %10.2f %12s\n", p.Credits, p.FPS, p.E2EMean.Round(time.Millisecond))
+		key := fmt.Sprintf("credits_%d", p.Credits)
+		e.set(key+"_fps", p.FPS)
+		e.setDurationMS(key+"_e2e_ms", p.E2EMean)
 	}
 	fmt.Println("(expected: FPS flat beyond 2 credits while latency keeps rising)")
 	return nil
 }
 
-func runCodec(o experiments.Options) error {
+func runCodec(o experiments.Options, e *benchEntry) error {
 	header("Ablation — JPEG vs raw frame transfer")
 	res, err := experiments.AblationCodec(o)
 	if err != nil {
@@ -178,10 +222,14 @@ func runCodec(o experiments.Options) error {
 	}
 	fmt.Printf("jpeg: %6.2f fps, e2e %v\n", res.JPEGFPS, res.JPEGE2E.Round(time.Millisecond))
 	fmt.Printf("raw:  %6.2f fps, e2e %v\n", res.RawFPS, res.RawE2E.Round(time.Millisecond))
+	e.set("jpeg_fps", res.JPEGFPS)
+	e.setDurationMS("jpeg_e2e_ms", res.JPEGE2E)
+	e.set("raw_fps", res.RawFPS)
+	e.setDurationMS("raw_e2e_ms", res.RawE2E)
 	return nil
 }
 
-func runBroker(o experiments.Options) error {
+func runBroker(o experiments.Options, e *benchEntry) error {
 	header("Ablation — brokerless transfer vs broker hop (§3.2)")
 	res, err := experiments.AblationBroker(o)
 	if err != nil {
@@ -189,10 +237,14 @@ func runBroker(o experiments.Options) error {
 	}
 	fmt.Printf("direct:   %6.2f fps, e2e %v\n", res.DirectFPS, res.DirectE2E.Round(time.Millisecond))
 	fmt.Printf("brokered: %6.2f fps, e2e %v\n", res.BrokerFPS, res.BrokerE2E.Round(time.Millisecond))
+	e.set("direct_fps", res.DirectFPS)
+	e.setDurationMS("direct_e2e_ms", res.DirectE2E)
+	e.set("broker_fps", res.BrokerFPS)
+	e.setDurationMS("broker_e2e_ms", res.BrokerE2E)
 	return nil
 }
 
-func runPlanners(o experiments.Options) error {
+func runPlanners(o experiments.Options, e *benchEntry) error {
 	header("Extension — placement strategies compared (fitness @ 20 FPS)")
 	points, err := experiments.ComparePlanners(o)
 	if err != nil {
@@ -201,12 +253,14 @@ func runPlanners(o experiments.Options) error {
 	fmt.Printf("%-16s %10s %12s\n", "planner", "FPS", "e2e mean")
 	for _, p := range points {
 		fmt.Printf("%-16s %10.2f %12s\n", p.Planner, p.FPS, p.E2EMean.Round(time.Millisecond))
+		e.set(p.Planner+"_fps", p.FPS)
+		e.setDurationMS(p.Planner+"_e2e_ms", p.E2EMean)
 	}
 	fmt.Println("(expected: latency-aware derives the co-located plan; both beat the baseline)")
 	return nil
 }
 
-func runChaos(o experiments.Options, seed int64) error {
+func runChaos(o experiments.Options, seed int64, e *benchEntry) error {
 	header("Resilience — deterministic fault injection and recovery")
 	rows, err := experiments.Chaos(o, seed, nil)
 	if err != nil {
@@ -215,12 +269,16 @@ func runChaos(o experiments.Options, seed int64) error {
 	fmt.Print(experiments.FormatChaos(rows, seed))
 	for _, r := range rows {
 		fmt.Printf("\n%s schedule:\n%s\n", r.Scenario, r.Fingerprint)
+		e.set(r.Scenario+"_pre_fps", r.PreFPS)
+		e.set(r.Scenario+"_during_fps", r.DuringFPS)
+		e.set(r.Scenario+"_post_fps", r.PostFPS)
+		e.setDurationMS(r.Scenario+"_recovery_ms", r.Recovery)
 	}
 	fmt.Println("(expected: post-fault FPS within 10% of pre-fault; same seed replays the same schedule)")
 	return nil
 }
 
-func runWorkers(o experiments.Options) error {
+func runWorkers(o experiments.Options, e *benchEntry) error {
 	header("Ablation — pose service worker concurrency under shared load")
 	points, err := experiments.AblationWorkers(o, nil)
 	if err != nil {
@@ -229,6 +287,10 @@ func runWorkers(o experiments.Options) error {
 	fmt.Printf("%-8s %10s %10s %10s\n", "workers", "fitness", "gesture", "aggregate")
 	for _, p := range points {
 		fmt.Printf("%-8d %10.2f %10.2f %10.2f\n", p.Workers, p.Fitness, p.Gesture, p.Aggregate)
+		key := fmt.Sprintf("workers_%d", p.Workers)
+		e.set(key+"_fitness_fps", p.Fitness)
+		e.set(key+"_gesture_fps", p.Gesture)
+		e.set(key+"_aggregate_fps", p.Aggregate)
 	}
 	return nil
 }

@@ -1,23 +1,56 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("warpdrive", time.Second, "squat", 1); err == nil {
+	if err := run("warpdrive", time.Second, "squat", 1, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunAccuracyExperiments(t *testing.T) {
 	// The accuracy experiments need no pipeline runs and finish quickly.
-	if err := run("activity", time.Second, "squat", 1); err != nil {
+	if err := run("activity", time.Second, "squat", 1, ""); err != nil {
 		t.Fatalf("activity: %v", err)
 	}
-	if err := run("repcount", time.Second, "squat", 1); err != nil {
+	if err := run("repcount", time.Second, "squat", 1, ""); err != nil {
 		t.Fatalf("repcount: %v", err)
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if err := run("activity", time.Second, "squat", 1, out); err != nil {
+		t.Fatalf("activity: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "activity" {
+		t.Fatalf("report experiments = %+v, want one activity entry", rep.Experiments)
+	}
+	e := rep.Experiments[0]
+	if e.Metrics["accuracy"] <= 0 || e.Metrics["accuracy"] > 1 {
+		t.Errorf("accuracy metric = %v, want in (0, 1]", e.Metrics["accuracy"])
+	}
+	if e.Mallocs == 0 || e.DurationMS <= 0 {
+		t.Errorf("cost fields not populated: mallocs=%d duration=%vms", e.Mallocs, e.DurationMS)
+	}
+	for _, key := range []string{"frame.pool.hit", "frame.pool.miss", "wire.bytes_copied"} {
+		if _, ok := rep.Counters[key]; !ok {
+			t.Errorf("report missing counter %q", key)
+		}
 	}
 }
 
@@ -25,7 +58,7 @@ func TestRunFig6Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the full service registry and runs pipelines")
 	}
-	if err := run("fig6", 1200*time.Millisecond, "squat", 1); err != nil {
+	if err := run("fig6", 1200*time.Millisecond, "squat", 1, ""); err != nil {
 		t.Fatalf("fig6: %v", err)
 	}
 }

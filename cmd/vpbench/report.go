@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"videopipe/internal/frame"
+	"videopipe/internal/wire"
+)
+
+// benchEntry is one experiment's machine-readable record: what it measured
+// (fps / latency metrics, flat key -> number) plus what it cost to run
+// (wall time and heap allocation deltas from runtime.MemStats).
+type benchEntry struct {
+	Name       string             `json:"name"`
+	DurationMS float64            `json:"duration_ms"`
+	AllocBytes uint64             `json:"alloc_bytes"`
+	Mallocs    uint64             `json:"mallocs"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// set records one named measurement on the entry.
+func (e *benchEntry) set(key string, v float64) {
+	if e.Metrics == nil {
+		e.Metrics = make(map[string]float64)
+	}
+	e.Metrics[key] = v
+}
+
+// setDurationMS records a latency measurement in milliseconds.
+func (e *benchEntry) setDurationMS(key string, d time.Duration) {
+	e.set(key, float64(d)/float64(time.Millisecond))
+}
+
+// benchReport is the BENCH_results.json document: the text report's
+// numbers, machine-readable, so CI and EXPERIMENTS.md diffs need no
+// stdout scraping.
+type benchReport struct {
+	GeneratedAt time.Time         `json:"generated_at"`
+	Scene       string            `json:"scene"`
+	WindowMS    float64           `json:"window_ms"`
+	Seed        int64             `json:"seed"`
+	Experiments []*benchEntry     `json:"experiments"`
+	Counters    map[string]uint64 `json:"counters"`
+}
+
+// measure runs fn as one experiment, capturing wall time and the heap
+// allocation delta around it.
+func (r *benchReport) measure(name string, fn func(e *benchEntry) error) error {
+	e := &benchEntry{Name: name}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn(e)
+	e.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	runtime.ReadMemStats(&after)
+	e.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	e.Mallocs = after.Mallocs - before.Mallocs
+	if err != nil {
+		return err
+	}
+	r.Experiments = append(r.Experiments, e)
+	return nil
+}
+
+// write snapshots the data-plane counters and writes the report to path.
+func (r *benchReport) write(path string) error {
+	hits, misses := frame.PoolStats()
+	r.Counters = map[string]uint64{
+		"frame.pool.hit":    hits,
+		"frame.pool.miss":   misses,
+		"wire.bytes_copied": wire.BytesCopied(),
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	fmt.Printf("\nwrote %s (%d experiments)\n", path, len(r.Experiments))
+	return nil
+}

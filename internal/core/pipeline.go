@@ -300,6 +300,10 @@ func (p *Pipeline) emit(f *frame.Frame) bool {
 	select {
 	case <-p.credits:
 	default:
+		// Dropped at the source: emit owns the frame, so recycle its
+		// buffer here. (Once TryInject Puts it in the device store, the
+		// store owns it and releases on eviction.)
+		f.Release()
 		return false
 	}
 	body := map[string]any{

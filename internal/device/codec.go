@@ -15,7 +15,10 @@ type paddedCodec struct {
 	cpuFactor float64
 }
 
-var _ frame.Codec = paddedCodec{}
+var (
+	_ frame.Codec         = paddedCodec{}
+	_ frame.AppendEncoder = paddedCodec{}
+)
 
 // Name reports the wrapped codec's name.
 func (c paddedCodec) Name() string { return c.inner.Name() }
@@ -26,6 +29,15 @@ func (c paddedCodec) Encode(f *frame.Frame) ([]byte, error) {
 	data, err := c.inner.Encode(f)
 	c.pad(start)
 	return data, err
+}
+
+// AppendEncode passes the scratch buffer through to the inner codec, then
+// pads like Encode — copy elision must not dodge the simulated media cost.
+func (c paddedCodec) AppendEncode(dst []byte, f *frame.Frame) ([]byte, error) {
+	start := time.Now()
+	out, err := frame.AppendEncode(c.inner, dst, f)
+	c.pad(start)
+	return out, err
 }
 
 // Decode runs the real decoder, then pads to the device-scaled duration.

@@ -96,6 +96,7 @@ func (m *Module) hostCallService(args []script.Value) (script.Value, error) {
 	if resp.Frame != nil {
 		id, err := m.dev.store.Put(resp.Frame)
 		if err != nil {
+			resp.Frame.Release()
 			return nil, fmt.Errorf("call_service: storing result frame: %w", err)
 		}
 		m.ownedRefs = append(m.ownedRefs, id)
@@ -172,7 +173,10 @@ func (m *Module) deliverLocal(target string, body map[string]any, frameID uint64
 	}
 }
 
-// deliverRemote ships the event across the network, encoding the frame.
+// deliverRemote ships the event across the network, encoding the frame
+// into the module's reusable scratch buffer (safe: deliverRemote only runs
+// on the event-loop goroutine, and push.Send has copied the bytes into the
+// socket's own buffer by the time it returns).
 func (m *Module) deliverRemote(route Route, body map[string]any, frameID uint64) error {
 	bodyJSON, err := json.Marshal(body)
 	if err != nil {
@@ -185,10 +189,11 @@ func (m *Module) deliverRemote(route Route, body map[string]any, frameID uint64)
 			return fmt.Errorf("call_module: %w", err)
 		}
 		encStart := time.Now()
-		data, err := m.dev.codec.Encode(f)
+		data, err := frame.AppendEncode(m.dev.codec, m.encBuf[:0], f)
 		if err != nil {
 			return fmt.Errorf("call_module: encode frame: %w", err)
 		}
+		m.encBuf = data
 		m.dev.reg.Histogram("module." + m.spec.Name + ".encode").Observe(time.Since(encStart))
 		msg.Parts = append(msg.Parts, data)
 	}

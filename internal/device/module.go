@@ -88,6 +88,9 @@ type Module struct {
 	ownedRefs     []uint64
 	currentFrame  *frame.Frame
 	frameDoneSeen bool
+	// encBuf is the frame-encode scratch for outgoing remote edges, reused
+	// across events (event-loop goroutine only).
+	encBuf []byte
 
 	closeOnce sync.Once
 	loadErr   error

@@ -144,11 +144,12 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 	}
 
 	// run executes one measurement window across the launched pipelines
-	// and returns the fitness pipeline's delivered rate. The rate is
-	// count-over-window rather than the meter's first-to-last-mark rate:
-	// at the low frame counts of short windows the latter swings with
-	// delivery clustering, while phases here compare like-for-like
-	// fixed-length windows.
+	// and returns the fitness pipeline's delivered rate, measured with the
+	// sink meter's trailing-window estimator: at the low frame counts of
+	// short windows the first-to-last-mark rate swings with delivery
+	// clustering, while RateWindow divides by the fixed window so phases
+	// compare like-for-like.
+	sink := cluster.Metrics().Meter("pipeline." + name + ".display.frames_done")
 	run := func(dur time.Duration) (float64, error) {
 		cluster.Metrics().Reset()
 		var wg sync.WaitGroup
@@ -176,17 +177,17 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 		if fitRes.Duration <= 0 {
 			return 0, nil
 		}
-		return float64(fitRes.Delivered) / fitRes.Duration.Seconds(), nil
+		return sink.RateWindow(fitRes.Duration), nil
 	}
 
 	row := ChaosRow{Scenario: sc.Name}
 	schedule := sc.schedule(seed)
 	row.Fingerprint = schedule.Fingerprint()
 
-	// Warm-up: the first run after launch reports an inflated rate — its
-	// few deliveries cluster after connection setup, compressing the
-	// meter's first-to-last window — so reach steady state before the
-	// pre-fault baseline is measured.
+	// Warm-up: the first run after launch spends part of its window on
+	// connection setup before frames flow, skewing whatever rate it
+	// reports — so reach steady state before the pre-fault baseline is
+	// measured.
 	warm := o.duration() / 2
 	if warm < 500*time.Millisecond {
 		warm = 500 * time.Millisecond

@@ -21,17 +21,41 @@ type Codec interface {
 	Name() string
 }
 
+// AppendEncoder is the copy-eliding side of Codec: encode into the caller's
+// buffer (growing it only when capacity runs out) instead of allocating a
+// fresh slice per frame. Hot paths that reuse a per-socket or per-module
+// scratch buffer should type-assert for it via AppendEncode.
+type AppendEncoder interface {
+	// AppendEncode appends the encoded frame to dst and returns the
+	// extended slice, like append.
+	AppendEncode(dst []byte, f *Frame) ([]byte, error)
+}
+
+// AppendEncode encodes f into dst's spare capacity when the codec supports
+// it, falling back to Encode plus append otherwise. The result aliases dst
+// whenever capacity allowed, so callers must treat dst as consumed.
+func AppendEncode(c Codec, dst []byte, f *Frame) ([]byte, error) {
+	if ae, ok := c.(AppendEncoder); ok {
+		return ae.AppendEncode(dst, f)
+	}
+	data, err := c.Encode(f)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, data...), nil
+}
+
 // header layout shared by both codecs:
 // [8 seq][8 capturedUnixNano][4 width][4 height][payload...]
 const headerSize = 8 + 8 + 4 + 4
 
-func marshalHeader(f *Frame) []byte {
-	buf := make([]byte, headerSize)
+func appendHeader(dst []byte, f *Frame) []byte {
+	var buf [headerSize]byte
 	binary.BigEndian.PutUint64(buf[0:], f.Seq)
 	binary.BigEndian.PutUint64(buf[8:], uint64(f.Captured.UnixNano()))
 	binary.BigEndian.PutUint32(buf[16:], uint32(f.Width))
 	binary.BigEndian.PutUint32(buf[20:], uint32(f.Height))
-	return buf
+	return append(dst, buf[:]...)
 }
 
 func unmarshalHeader(data []byte) (seq uint64, captured time.Time, w, h int, payload []byte, err error) {
@@ -62,16 +86,63 @@ func (JPEGCodec) Name() string { return "jpeg" }
 
 // Encode serializes the frame header plus JPEG payload.
 func (c JPEGCodec) Encode(f *Frame) ([]byte, error) {
+	return c.AppendEncode(nil, f)
+}
+
+// AppendEncode serializes into dst's spare capacity; the JPEG encoder
+// writes through a thin append adapter so a warm scratch buffer makes the
+// whole encode allocation-free apart from the encoder's own state.
+func (c JPEGCodec) AppendEncode(dst []byte, f *Frame) ([]byte, error) {
 	q := c.Quality
 	if q == 0 {
 		q = jpeg.DefaultQuality
 	}
-	var buf bytes.Buffer
-	buf.Write(marshalHeader(f))
-	if err := jpeg.Encode(&buf, f.ToImage(), &jpeg.Options{Quality: q}); err != nil {
+	w := appendWriter{buf: appendHeader(dst, f)}
+	if err := jpeg.Encode(&w, f.ToImage(), &jpeg.Options{Quality: q}); err != nil {
 		return nil, fmt.Errorf("frame: jpeg encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return w.buf, nil
+}
+
+// appendWriter adapts append-style buffer growth to the stdlib JPEG
+// encoder. It implements Flush and WriteByte alongside Write so
+// jpeg.Encode uses it directly instead of wrapping it in a fresh
+// bufio.Writer per call. Bytes stage through a fixed array first:
+// appending straight to buf would pay a bounds check and a slice-header
+// write barrier on every WriteByte in the encoder's bit-emit loop.
+type appendWriter struct {
+	buf []byte
+	n   int
+	tmp [2048]byte
+}
+
+func (w *appendWriter) flushTmp() {
+	w.buf = append(w.buf, w.tmp[:w.n]...)
+	w.n = 0
+}
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	if w.n > 0 {
+		w.flushTmp()
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *appendWriter) WriteByte(c byte) error {
+	if w.n == len(w.tmp) {
+		w.flushTmp()
+	}
+	w.tmp[w.n] = c
+	w.n++
+	return nil
+}
+
+func (w *appendWriter) Flush() error {
+	if w.n > 0 {
+		w.flushTmp()
+	}
+	return nil
 }
 
 // Decode reconstructs a frame from a JPEG-encoded payload. JPEG is lossy:
@@ -104,14 +175,19 @@ var _ Codec = RawCodec{}
 func (RawCodec) Name() string { return "raw" }
 
 // Encode concatenates the header and raw pixels.
-func (RawCodec) Encode(f *Frame) ([]byte, error) {
-	out := make([]byte, 0, headerSize+len(f.Pix))
-	out = append(out, marshalHeader(f)...)
-	out = append(out, f.Pix...)
-	return out, nil
+func (c RawCodec) Encode(f *Frame) ([]byte, error) {
+	return c.AppendEncode(make([]byte, 0, headerSize+len(f.Pix)), f)
 }
 
-// Decode reconstructs the frame exactly.
+// AppendEncode concatenates the header and raw pixels into dst's spare
+// capacity.
+func (RawCodec) AppendEncode(dst []byte, f *Frame) ([]byte, error) {
+	dst = appendHeader(dst, f)
+	return append(dst, f.Pix...), nil
+}
+
+// Decode reconstructs the frame exactly, into a pooled buffer owned by the
+// caller.
 func (RawCodec) Decode(data []byte) (*Frame, error) {
 	seq, captured, w, h, payload, err := unmarshalHeader(data)
 	if err != nil {
@@ -120,7 +196,7 @@ func (RawCodec) Decode(data []byte) (*Frame, error) {
 	if len(payload) != w*h*4 {
 		return nil, fmt.Errorf("frame: raw payload is %d bytes, want %d", len(payload), w*h*4)
 	}
-	f := MustNew(w, h)
+	f := MustNewPooled(w, h)
 	copy(f.Pix, payload)
 	f.Seq = seq
 	f.Captured = captured

@@ -23,12 +23,22 @@ type Frame struct {
 	// Captured is the wall-clock capture time, used for end-to-end latency
 	// accounting.
 	Captured time.Time
+
+	// pooled marks Pix as drawn from the BufferPool; Release recycles it.
+	pooled bool
+	// released flips 0->1 on Release (atomically, so concurrent
+	// double-release bugs are caught rather than racing).
+	released int32
+}
+
+func badDimensions(width, height int) error {
+	return fmt.Errorf("frame: bad dimensions %dx%d", width, height)
 }
 
 // New allocates a black frame of the given dimensions.
 func New(width, height int) (*Frame, error) {
 	if width <= 0 || height <= 0 || width*height > 64<<20 {
-		return nil, fmt.Errorf("frame: bad dimensions %dx%d", width, height)
+		return nil, badDimensions(width, height)
 	}
 	return &Frame{
 		Width:  width,
@@ -47,10 +57,11 @@ func MustNew(width, height int) *Frame {
 	return f
 }
 
-// Clone deep-copies the frame.
+// Clone deep-copies the frame into a pooled buffer. The caller owns the
+// clone and should Release it when done.
 func (f *Frame) Clone() *Frame {
-	out := &Frame{Seq: f.Seq, Width: f.Width, Height: f.Height, Captured: f.Captured}
-	out.Pix = make([]byte, len(f.Pix))
+	out := &Frame{Seq: f.Seq, Width: f.Width, Height: f.Height, Captured: f.Captured, pooled: true}
+	out.Pix = Pool.Get(len(f.Pix))
 	copy(out.Pix, f.Pix)
 	return out
 }
@@ -85,13 +96,19 @@ func (f *Frame) At(x, y int) color.RGBA {
 	return color.RGBA{R: f.Pix[i], G: f.Pix[i+1], B: f.Pix[i+2], A: f.Pix[i+3]}
 }
 
-// Fill paints the whole frame with one color.
+// Fill paints the whole frame with one color. The pattern is written once
+// and then copy-doubled, which compiles to memmove rather than a per-pixel
+// store loop.
 func (f *Frame) Fill(c color.RGBA) {
-	for i := 0; i < len(f.Pix); i += 4 {
-		f.Pix[i] = c.R
-		f.Pix[i+1] = c.G
-		f.Pix[i+2] = c.B
-		f.Pix[i+3] = c.A
+	if len(f.Pix) < 4 {
+		return
+	}
+	f.Pix[0] = c.R
+	f.Pix[1] = c.G
+	f.Pix[2] = c.B
+	f.Pix[3] = c.A
+	for filled := 4; filled < len(f.Pix); filled *= 2 {
+		copy(f.Pix[filled:], f.Pix[:filled])
 	}
 }
 
@@ -181,17 +198,57 @@ func (f *Frame) ToImage() *image.RGBA {
 	}
 }
 
-// FromImage copies an image into a new frame.
+// FromImage copies an image into a new pooled frame. The two image types
+// that actually occur on the hot path — *image.YCbCr from jpeg.Decode and
+// *image.RGBA from ToImage round-trips — get direct row conversions,
+// striped across the shared worker group; everything else falls back to
+// the generic color.Model path.
 func FromImage(img image.Image) *Frame {
 	b := img.Bounds()
-	f := MustNew(b.Dx(), b.Dy())
-	for y := 0; y < f.Height; y++ {
-		for x := 0; x < f.Width; x++ {
-			r, g, bb, a := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
-			f.Set(x, y, color.RGBA{R: uint8(r >> 8), G: uint8(g >> 8), B: uint8(bb >> 8), A: uint8(a >> 8)})
+	f := MustNewPooled(b.Dx(), b.Dy())
+	switch src := img.(type) {
+	case *image.YCbCr:
+		Stripes(f.Height, func(lo, hi int) {
+			fromYCbCrRows(f, src, b, lo, hi)
+		})
+	case *image.RGBA:
+		Stripes(f.Height, func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				srcRow := src.Pix[src.PixOffset(b.Min.X, b.Min.Y+y):]
+				copy(f.Pix[y*f.Width*4:(y+1)*f.Width*4], srcRow[:f.Width*4])
+			}
+		})
+	default:
+		for y := 0; y < f.Height; y++ {
+			for x := 0; x < f.Width; x++ {
+				r, g, bb, a := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+				f.Set(x, y, color.RGBA{R: uint8(r >> 8), G: uint8(g >> 8), B: uint8(bb >> 8), A: uint8(a >> 8)})
+			}
 		}
 	}
 	return f
+}
+
+// fromYCbCrRows converts rows [lo, hi) of a YCbCr image (the jpeg.Decode
+// output type) straight into the frame's RGBA buffer, indexing the chroma
+// planes directly instead of going through img.At's interface and
+// color-model conversions.
+func fromYCbCrRows(f *Frame, src *image.YCbCr, b image.Rectangle, lo, hi int) {
+	for y := lo; y < hi; y++ {
+		sy := b.Min.Y + y
+		yRow := src.Y[(sy-src.Rect.Min.Y)*src.YStride:]
+		out := f.Pix[y*f.Width*4 : (y+1)*f.Width*4]
+		for x := 0; x < f.Width; x++ {
+			sx := b.Min.X + x
+			ci := src.COffset(sx, sy)
+			r, g, bb := color.YCbCrToRGB(yRow[sx-src.Rect.Min.X], src.Cb[ci], src.Cr[ci])
+			i := x * 4
+			out[i] = r
+			out[i+1] = g
+			out[i+2] = bb
+			out[i+3] = 0xff
+		}
+	}
 }
 
 func abs(v int) int {

@@ -1,0 +1,8 @@
+//go:build race
+
+package frame
+
+// raceEnabled reports that the race detector is active: allocation counts
+// are skewed by instrumentation, so exact-count assertions are skipped
+// (the code paths still run, so races in the pool are caught).
+const raceEnabled = true

@@ -17,7 +17,7 @@ type Renderer func(seq uint64, elapsed time.Duration) (*Frame, error)
 // for tests and throughput measurement.
 func SolidRenderer(width, height int, c color.RGBA) Renderer {
 	return func(seq uint64, _ time.Duration) (*Frame, error) {
-		f, err := New(width, height)
+		f, err := NewPooled(width, height)
 		if err != nil {
 			return nil, err
 		}
@@ -72,6 +72,10 @@ func (s *Source) Stats() SourceStats {
 // Run captures frames at the configured rate until ctx is done, offering
 // each to emit. emit must return quickly (it should only check credit and
 // hand the frame off); a false return counts the frame as dropped.
+//
+// Ownership: the emit callback owns the frame whether or not it accepts
+// it — a dropping emit must Release the frame (or hand it to an owner that
+// will) so pooled buffers recycle instead of leaking to the GC.
 func (s *Source) Run(ctx context.Context, emit func(*Frame) bool) error {
 	interval := time.Duration(float64(time.Second) / s.fps)
 	ticker := time.NewTicker(interval)

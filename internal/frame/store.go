@@ -76,7 +76,11 @@ func (s *Store) Retain(id uint64) error {
 	return nil
 }
 
-// Release decrements the reference count; the frame is evicted at zero.
+// Release decrements the reference count; the frame is evicted at zero and
+// its pixel buffer returned to the BufferPool. Put transfers ownership of
+// the frame to the store, so eviction is the single point where
+// store-resident frames are recycled — holders of a still-positive ref id
+// may keep using the *Frame, holders of a dead id must not.
 func (s *Store) Release(id uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -87,6 +91,7 @@ func (s *Store) Release(id uint64) error {
 	e.refs--
 	if e.refs <= 0 {
 		delete(s.frames, id)
+		e.frame.Release()
 	}
 	return nil
 }

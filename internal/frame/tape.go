@@ -60,6 +60,7 @@ func (t *Tape) RecordRenderer(r Renderer, n int, fps float64) error {
 		if err := t.Append(f); err != nil {
 			return err
 		}
+		f.Release()
 	}
 	return nil
 }

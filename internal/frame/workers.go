@@ -1,0 +1,90 @@
+package frame
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The vision kernels and pixel conversions stripe their row loops across a
+// single process-wide worker group rather than spawning goroutines per
+// call. Service pools already run many kernel invocations concurrently;
+// giving each invocation its own NumCPU goroutines would oversubscribe the
+// machine and trade throughput for scheduler churn. Instead a fixed token
+// bucket holds NumCPU-1 "extra worker" tokens: a Stripes call grabs
+// whatever is free, runs the rest of its rows inline, and returns the
+// tokens. Under contention every call degrades gracefully toward inline
+// execution — exactly the serial code it replaced — so the worst case
+// costs nothing.
+var workerTokens = make(chan struct{}, maxExtraWorkers())
+
+func maxExtraWorkers() int {
+	n := runtime.NumCPU() - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func init() {
+	for i := 0; i < cap(workerTokens); i++ {
+		workerTokens <- struct{}{}
+	}
+}
+
+// minStripeRows keeps tiny loops inline: below this many rows the
+// goroutine handoff costs more than the work.
+const minStripeRows = 64
+
+// Stripes splits [0, n) into contiguous row ranges and runs fn on each,
+// in parallel when worker tokens are free and inline otherwise. fn must
+// be safe to call concurrently for disjoint ranges; Stripes returns only
+// after every range completes. Callers needing deterministic results
+// across worker counts must accumulate with order-independent arithmetic
+// (integer sums, min/max) rather than floats.
+func Stripes(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	extra := 0
+	if n >= minStripeRows {
+	claim:
+		for extra < cap(workerTokens) {
+			select {
+			case <-workerTokens:
+				extra++
+			default:
+				break claim
+			}
+		}
+	}
+	if extra == 0 {
+		fn(0, n)
+		return
+	}
+	parts := extra + 1
+	chunk := (n + parts - 1) / parts
+	var wg sync.WaitGroup
+	lo, spawned := 0, 0
+	for ; spawned < extra && lo < n; spawned++ {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+			workerTokens <- struct{}{}
+		}(lo, hi)
+		lo = hi
+	}
+	// Rows can run out before the claimed tokens do (many cores, few
+	// rows); hand the surplus straight back.
+	for ; spawned < extra; spawned++ {
+		workerTokens <- struct{}{}
+	}
+	if lo < n {
+		fn(lo, n)
+	}
+	wg.Wait()
+}

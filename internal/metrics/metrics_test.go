@@ -277,3 +277,55 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Errorf("histogram count = %d, want %d", got, want)
 	}
 }
+
+func TestMeterRateWindow(t *testing.T) {
+	m := NewMeter()
+	base := time.Unix(1000, 0)
+	now := base
+	m.SetClock(func() time.Time { return now })
+
+	// 10 marks in the first second, then a 9-second silent gap.
+	for i := 0; i < 10; i++ {
+		now = base.Add(time.Duration(i) * 100 * time.Millisecond)
+		m.Mark()
+	}
+	now = base.Add(10 * time.Second)
+
+	// First-to-last rate is inflated by the clustering (10 marks over
+	// 0.9s); the trailing 10s window sees 10 marks over 10s.
+	if got := m.RateWindow(10 * time.Second); got < 0.99 || got > 1.01 {
+		t.Errorf("RateWindow(10s) = %f, want 1", got)
+	}
+	// A trailing window covering only the silent tail sees zero.
+	if got := m.RateWindow(5 * time.Second); got != 0 {
+		t.Errorf("RateWindow(5s) = %f, want 0", got)
+	}
+	// A window longer than the meter's lifetime clamps to the lifetime:
+	// 10 events over 10s, not over 60s.
+	if got := m.RateWindow(time.Minute); got < 0.99 || got > 1.01 {
+		t.Errorf("RateWindow(1m) = %f, want 1", got)
+	}
+	if got := m.RateWindow(0); got != 0 {
+		t.Errorf("RateWindow(0) = %f, want 0", got)
+	}
+}
+
+func TestMeterRateWindowRingEviction(t *testing.T) {
+	m := NewMeter()
+	base := time.Unix(1000, 0)
+	now := base
+	m.SetClock(func() time.Time { return now })
+
+	// Overflow the ring: 2*meterRingSize marks at 1ms spacing. Only the
+	// newest meterRingSize records survive, so the window clamps to the
+	// span the ring still covers and the rate stays ~1000/s instead of
+	// halving.
+	total := 2 * meterRingSize
+	for i := 0; i < total; i++ {
+		now = base.Add(time.Duration(i) * time.Millisecond)
+		m.Mark()
+	}
+	if got := m.RateWindow(time.Hour); got < 900 || got > 1100 {
+		t.Errorf("RateWindow after eviction = %f, want ~1000", got)
+	}
+}

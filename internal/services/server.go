@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 
 	"videopipe/internal/frame"
 	"videopipe/internal/wire"
@@ -77,6 +78,12 @@ func (s *Server) handle(ctx context.Context, m wire.Message) (wire.Message, erro
 	}
 
 	resp, err := pool.Invoke(ctx, req)
+	// The decoded request frame exists only for this call; recycle it once
+	// the handler is done (handlers that keep pixels clone the frame, so a
+	// same-frame response would be an ownership bug — guard regardless).
+	if req.Frame != nil && req.Frame != resp.Frame {
+		req.Frame.Release()
+	}
 	if err != nil {
 		return wire.Message{}, err
 	}
@@ -87,7 +94,10 @@ func (s *Server) handle(ctx context.Context, m wire.Message) (wire.Message, erro
 	}
 	out := wire.NewMessage(resultJSON)
 	if resp.Frame != nil {
+		// The encode buffer can't be pooled here: the responder still
+		// references it while writing after this handler returns.
 		data, err := s.codec.Encode(resp.Frame)
+		resp.Frame.Release()
 		if err != nil {
 			return wire.Message{}, fmt.Errorf("services: encode result frame: %w", err)
 		}
@@ -110,7 +120,13 @@ func NewClient(t wire.Transport, address string, codec frame.Codec) *Client {
 	return &Client{caller: wire.DialCaller(t, address), codec: codec}
 }
 
+// encBufPool recycles frame-encode buffers across Calls. A buffer is safe
+// to recycle as soon as Call returns: the caller has copied it into the
+// socket's scratch during the (synchronous) write.
+var encBufPool sync.Pool
+
 // Call invokes a remote service, encoding the frame (if any) for transfer.
+// The input frame is borrowed — the caller keeps ownership.
 func (c *Client) Call(ctx context.Context, service string, args map[string]any, f *frame.Frame) (Response, error) {
 	argsJSON, err := json.Marshal(args)
 	if err != nil {
@@ -118,11 +134,17 @@ func (c *Client) Call(ctx context.Context, service string, args map[string]any, 
 	}
 	req := wire.NewMessage([]byte(service), argsJSON)
 	if f != nil {
-		data, err := c.codec.Encode(f)
+		var scratch []byte
+		if v := encBufPool.Get(); v != nil {
+			scratch = v.([]byte)
+		}
+		data, err := frame.AppendEncode(c.codec, scratch[:0], f)
 		if err != nil {
+			encBufPool.Put(scratch) //nolint:staticcheck // slice scratch, header alloc is noise
 			return Response{}, fmt.Errorf("services: encode frame: %w", err)
 		}
 		req.Parts = append(req.Parts, data)
+		defer encBufPool.Put(data) //nolint:staticcheck // recycled after the synchronous write completes
 	}
 
 	out, err := c.caller.Call(ctx, req)

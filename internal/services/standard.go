@@ -373,10 +373,13 @@ func handleDisplay(_ context.Context, req Request) (Response, error) {
 	}
 	// The display service IS the screen: it renders in place. The composed
 	// frame ships back only when the caller asks (return_frame), so remote
-	// callers don't pay a pointless reverse transfer.
+	// callers don't pay a pointless reverse transfer — and the clone is
+	// recycled immediately when it stays here.
 	resp := Response{Result: map[string]any{"rendered": true}}
 	if want, ok := req.Args["return_frame"].(bool); ok && want {
 		resp.Frame = out
+	} else {
+		out.Release()
 	}
 	return resp, nil
 }

@@ -3,7 +3,6 @@ package vision
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // WindowSize is the number of consecutive pose frames the activity
@@ -87,6 +86,11 @@ func (c *ActivityClassifier) Classify(window []Pose) (Activity, float64, error) 
 }
 
 // ClassifyFeatures predicts from an already-extracted feature vector.
+//
+// The hot loop keeps only the k best neighbours (insertion into a tiny
+// sorted array — no full sort over all samples) and abandons each squared
+// distance as soon as it exceeds the current k-th best, so most training
+// samples are rejected after a fraction of their 510 dimensions.
 func (c *ActivityClassifier) ClassifyFeatures(feats []float64) (Activity, float64, error) {
 	if len(c.samples) == 0 {
 		return 0, 0, fmt.Errorf("vision: classifier has no training data")
@@ -99,25 +103,48 @@ func (c *ActivityClassifier) ClassifyFeatures(feats []float64) (Activity, float6
 		dist  float64
 		label Activity
 	}
-	scores := make([]scored, len(c.samples))
-	for i, s := range c.samples {
-		scores[i] = scored{dist: sqDist(feats, s.Features), label: s.Label}
-	}
-	sort.Slice(scores, func(i, j int) bool { return scores[i].dist < scores[j].dist })
-
 	k := c.k
-	if k > len(scores) {
-		k = len(scores)
+	if k > len(c.samples) {
+		k = len(c.samples)
 	}
-	votes := make(map[Activity]int)
-	for _, s := range scores[:k] {
-		votes[s.label]++
+	var arr [8]scored
+	nearest := arr[:0]
+	if k > len(arr) {
+		nearest = make([]scored, 0, k)
 	}
+	for i := range c.samples {
+		s := &c.samples[i]
+		limit := math.Inf(1)
+		if len(nearest) == k {
+			limit = nearest[k-1].dist
+		}
+		d := sqDistLimit(feats, s.Features, limit)
+		if d >= limit {
+			continue
+		}
+		// Insert in ascending order, evicting the current worst when full.
+		if len(nearest) < k {
+			nearest = append(nearest, scored{})
+		}
+		j := len(nearest) - 1
+		for j > 0 && nearest[j-1].dist > d {
+			nearest[j] = nearest[j-1]
+			j--
+		}
+		nearest[j] = scored{dist: d, label: s.Label}
+	}
+
 	var best Activity
 	bestVotes := -1
-	for label, n := range votes {
-		if n > bestVotes || (n == bestVotes && label < best) {
-			best, bestVotes = label, n
+	for i := range nearest {
+		n := 0
+		for j := range nearest {
+			if nearest[j].label == nearest[i].label {
+				n++
+			}
+		}
+		if n > bestVotes || (n == bestVotes && nearest[i].label < best) {
+			best, bestVotes = nearest[i].label, n
 		}
 	}
 	return best, float64(bestVotes) / float64(k), nil
@@ -126,6 +153,29 @@ func (c *ActivityClassifier) ClassifyFeatures(feats []float64) (Activity, float6
 func sqDist(a, b []float64) float64 {
 	var sum float64
 	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// sqDistLimit is sqDist with early abandonment: once the partial sum
+// exceeds limit the exact value can't matter to a nearest-neighbour
+// comparison, so it returns immediately. The limit check runs once per
+// 8-element block to keep the common path branch-light.
+func sqDistLimit(a, b []float64, limit float64) float64 {
+	var sum float64
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		for j := i; j < i+8; j++ {
+			d := a[j] - b[j]
+			sum += d * d
+		}
+		if sum >= limit {
+			return sum
+		}
+	}
+	for ; i < len(a); i++ {
 		d := a[i] - b[i]
 		sum += d * d
 	}

@@ -1,7 +1,7 @@
 package vision
 
 import (
-	"math"
+	"sync"
 
 	"videopipe/internal/frame"
 )
@@ -11,6 +11,76 @@ import (
 // margin for JPEG artifacts while rejecting background and skeleton pixels.
 const markerMatchThreshold = 60
 
+// minMarkerChannel is the classification quick-reject bound: every palette
+// entry has at least one channel equal to 255, so a pixel within
+// markerMatchThreshold of any marker must have a channel >= 255 - 60. A
+// pixel with all channels below this can't match and skips the 17-color
+// distance loop — which is every background (16), skeleton (72) and head
+// (80) pixel, i.e. almost the whole frame.
+const minMarkerChannel = 255 - markerMatchThreshold
+
+// labelsPool recycles the per-call pixel-label scratch (one int8 per
+// pixel, the dominant allocation of DetectPose before pooling).
+var labelsPool sync.Pool
+
+func getLabels(n int) []int8 {
+	if v := labelsPool.Get(); v != nil {
+		if s := v.([]int8); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int8, n)
+}
+
+// extent is a foreground bounding region accumulated in integer pixel
+// coordinates, so striped accumulation is order-independent and merges
+// exactly.
+type extent struct {
+	minX, minY, maxX, maxY int
+	count                  int
+}
+
+func newExtent() extent { return extent{minX: 1 << 30, minY: 1 << 30, maxX: -1, maxY: -1} }
+
+func (e *extent) add(x, y int) {
+	if x < e.minX {
+		e.minX = x
+	}
+	if y < e.minY {
+		e.minY = y
+	}
+	if x > e.maxX {
+		e.maxX = x
+	}
+	if y > e.maxY {
+		e.maxY = y
+	}
+	e.count++
+}
+
+func (e *extent) merge(o extent) {
+	if o.minX < e.minX {
+		e.minX = o.minX
+	}
+	if o.minY < e.minY {
+		e.minY = o.minY
+	}
+	if o.maxX > e.maxX {
+		e.maxX = o.maxX
+	}
+	if o.maxY > e.maxY {
+		e.maxY = o.maxY
+	}
+	e.count += o.count
+}
+
+func (e *extent) box() Box {
+	return Box{MinX: float64(e.minX), MinY: float64(e.minY), MaxX: float64(e.maxX), MaxY: float64(e.maxY)}
+}
+
+// foregroundThreshold: anything meaningfully brighter than background.
+var foregroundThreshold = 3*int(backgroundColor.R) + 60
+
 // DetectPose recovers the 2D pose from a rendered frame: it classifies
 // pixels against the 17 joint marker colors, takes the centroid of each
 // color's pixels as the keypoint, and derives the person bounding box from
@@ -18,85 +88,67 @@ const markerMatchThreshold = 60
 // bounding box around them; within that bounding box it detects 17
 // keypoints").
 //
+// Both passes stripe their row loops across the shared worker group
+// (frame.Stripes); centroids accumulate in int64 so results are identical
+// at any worker count.
+//
 // The returned bool is false when no person is visible (fewer than half
 // the markers found). Score is the fraction of markers located.
 func DetectPose(f *frame.Frame) (Pose, bool) {
 	w, h := f.Width, f.Height
-	labels := make([]int8, w*h)
-
-	minX, minY := math.Inf(1), math.Inf(1)
-	maxX, maxY := math.Inf(-1), math.Inf(-1)
-	foreground := 0
+	if w <= 0 || h <= 0 {
+		return Pose{}, false
+	}
+	labels := getLabels(w * h)
+	defer labelsPool.Put(labels) //nolint:staticcheck // scratch reuse; slice-header alloc is noise next to the buffer
 
 	// Pass 1: classify each pixel against the marker palette and track the
-	// foreground extent.
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			i := (y*w + x) * 4
-			r := int(f.Pix[i])
-			g := int(f.Pix[i+1])
-			b := int(f.Pix[i+2])
-
-			// Foreground = anything meaningfully brighter than background.
-			if r+g+b > 3*int(backgroundColor.R)+60 {
-				fx, fy := float64(x), float64(y)
-				minX = math.Min(minX, fx)
-				minY = math.Min(minY, fy)
-				maxX = math.Max(maxX, fx)
-				maxY = math.Max(maxY, fy)
-				foreground++
-			}
-
-			best, bestDist := -1, markerMatchThreshold*markerMatchThreshold+1
-			for k, mc := range markerColors {
-				dr := r - int(mc.R)
-				dg := g - int(mc.G)
-				db := b - int(mc.B)
-				d := dr*dr + dg*dg + db*db
-				if d < bestDist {
-					best, bestDist = k, d
-				}
-			}
-			labels[y*w+x] = int8(best)
-		}
-	}
+	// foreground extent, row-striped with per-stripe partials merged under
+	// a mutex (once per stripe, not per pixel).
+	fg := newExtent()
+	var mu sync.Mutex
+	frame.Stripes(h, func(lo, hi int) {
+		part := classifyRows(f, labels, lo, hi)
+		mu.Lock()
+		fg.merge(part)
+		mu.Unlock()
+	})
 
 	// Pass 2: accumulate centroids over *core* pixels only — pixels whose
 	// four neighbours carry the same label. Compression blurs marker edges
 	// into colors that can fall near a different palette entry; interiors
-	// survive, so eroding by one pixel rejects the contamination.
-	var sumX, sumY [NumKeypoints]float64
+	// survive, so eroding by one pixel rejects the contamination. The
+	// stripes read labels across their row boundaries, which is safe: the
+	// label array is complete and read-only by now.
+	var sumX, sumY [NumKeypoints]int64
 	var count [NumKeypoints]int
-	for y := 1; y < h-1; y++ {
-		for x := 1; x < w-1; x++ {
-			i := y*w + x
-			k := labels[i]
-			if k < 0 {
-				continue
-			}
-			if labels[i-1] != k || labels[i+1] != k || labels[i-w] != k || labels[i+w] != k {
-				continue
-			}
-			sumX[k] += float64(x)
-			sumY[k] += float64(y)
-			count[k]++
+	frame.Stripes(h-2, func(lo, hi int) {
+		var px, py [NumKeypoints]int64
+		var pc [NumKeypoints]int
+		erodeRows(labels, w, lo+1, hi+1, &px, &py, &pc)
+		mu.Lock()
+		for k := 0; k < NumKeypoints; k++ {
+			sumX[k] += px[k]
+			sumY[k] += py[k]
+			count[k] += pc[k]
 		}
-	}
+		mu.Unlock()
+	})
 
 	var p Pose
 	found := 0
 	for k := 0; k < NumKeypoints; k++ {
 		if count[k] > 0 {
-			p.Keypoints[k] = Point{X: sumX[k] / float64(count[k]), Y: sumY[k] / float64(count[k])}
+			p.Keypoints[k] = Point{X: float64(sumX[k]) / float64(count[k]), Y: float64(sumY[k]) / float64(count[k])}
 			found++
 		}
 	}
-	if found < NumKeypoints/2 || foreground == 0 {
+	if found < NumKeypoints/2 || fg.count == 0 {
 		return Pose{}, false
 	}
 	// Fill any missed keypoints with the box center so downstream feature
 	// vectors stay well-formed.
-	p.Box = Box{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+	p.Box = fg.box()
 	center := p.Box.Center()
 	for k := 0; k < NumKeypoints; k++ {
 		if count[k] == 0 {
@@ -107,27 +159,91 @@ func DetectPose(f *frame.Frame) (Pose, bool) {
 	return p, true
 }
 
+// classifyRows labels rows [lo, hi) and returns their foreground extent.
+func classifyRows(f *frame.Frame, labels []int8, lo, hi int) extent {
+	w := f.Width
+	e := newExtent()
+	for y := lo; y < hi; y++ {
+		row := f.Pix[y*w*4 : (y+1)*w*4]
+		base := y * w
+		for x := 0; x < w; x++ {
+			i := x * 4
+			r := int(row[i])
+			g := int(row[i+1])
+			b := int(row[i+2])
+
+			if r+g+b > foregroundThreshold {
+				e.add(x, y)
+			}
+
+			if r < minMarkerChannel && g < minMarkerChannel && b < minMarkerChannel {
+				labels[base+x] = -1
+				continue
+			}
+			best, bestDist := -1, markerMatchThreshold*markerMatchThreshold+1
+			for k := range markerColors {
+				mc := &markerColors[k]
+				dr := r - int(mc.R)
+				dg := g - int(mc.G)
+				db := b - int(mc.B)
+				d := dr*dr + dg*dg + db*db
+				if d < bestDist {
+					best, bestDist = k, d
+				}
+			}
+			labels[base+x] = int8(best)
+		}
+	}
+	return e
+}
+
+// erodeRows accumulates core-pixel centroid partials for rows [lo, hi),
+// which must lie within [1, h-1).
+func erodeRows(labels []int8, w, lo, hi int, sumX, sumY *[NumKeypoints]int64, count *[NumKeypoints]int) {
+	for y := lo; y < hi; y++ {
+		rowBase := y * w
+		for x := 1; x < w-1; x++ {
+			i := rowBase + x
+			k := labels[i]
+			if k < 0 {
+				continue
+			}
+			if labels[i-1] != k || labels[i+1] != k || labels[i-w] != k || labels[i+w] != k {
+				continue
+			}
+			sumX[k] += int64(x)
+			sumY[k] += int64(y)
+			count[k]++
+		}
+	}
+}
+
 // DetectPersonBox reports only the foreground bounding box, for services
 // that need presence detection without full pose recovery.
 func DetectPersonBox(f *frame.Frame) (Box, bool) {
-	minX, minY := math.Inf(1), math.Inf(1)
-	maxX, maxY := math.Inf(-1), math.Inf(-1)
-	foreground := 0
-	for y := 0; y < f.Height; y++ {
-		for x := 0; x < f.Width; x++ {
-			i := (y*f.Width + x) * 4
-			if int(f.Pix[i])+int(f.Pix[i+1])+int(f.Pix[i+2]) > 3*int(backgroundColor.R)+60 {
-				fx, fy := float64(x), float64(y)
-				minX = math.Min(minX, fx)
-				minY = math.Min(minY, fy)
-				maxX = math.Max(maxX, fx)
-				maxY = math.Max(maxY, fy)
-				foreground++
-			}
-		}
-	}
-	if foreground < 10 {
+	w, h := f.Width, f.Height
+	if w <= 0 || h <= 0 {
 		return Box{}, false
 	}
-	return Box{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}, true
+	fg := newExtent()
+	var mu sync.Mutex
+	frame.Stripes(h, func(lo, hi int) {
+		part := newExtent()
+		for y := lo; y < hi; y++ {
+			row := f.Pix[y*w*4 : (y+1)*w*4]
+			for x := 0; x < w; x++ {
+				i := x * 4
+				if int(row[i])+int(row[i+1])+int(row[i+2]) > foregroundThreshold {
+					part.add(x, y)
+				}
+			}
+		}
+		mu.Lock()
+		fg.merge(part)
+		mu.Unlock()
+	})
+	if fg.count < 10 {
+		return Box{}, false
+	}
+	return fg.box(), true
 }

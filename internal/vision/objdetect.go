@@ -35,6 +35,13 @@ var objectClasses = []struct {
 // object class.
 const objectMatchThreshold = 55
 
+// minObjectChannelSum is the classification quick-reject bound: the dimmest
+// class (chair, 150+75+0=225) still sums to 225, and a pixel within
+// objectMatchThreshold of any class deviates by at most 55 per channel, so
+// its channel sum is >= 225 - 3*55 = 60. Anything dimmer — every
+// background pixel — skips the 6-class distance loop.
+const minObjectChannelSum = 225 - 3*objectMatchThreshold
+
 // minObjectPixels suppresses speckle detections.
 const minObjectPixels = 12
 
@@ -59,33 +66,39 @@ func ObjectColor(label string) (color.RGBA, bool) {
 }
 
 // DetectObjects finds all objects in a frame by connected-component
-// analysis over class-colored pixels (4-connectivity, union-find).
+// analysis over class-colored pixels (4-connectivity, union-find). The
+// classification pass is row-striped across the shared worker group with a
+// channel-sum quick reject; the union-find stays serial (it is a small
+// fraction of the work and inherently order-dependent).
 func DetectObjects(f *frame.Frame) []Detection {
 	w, h := f.Width, f.Height
 	classOf := make([]int8, w*h)
-	for i := range classOf {
-		classOf[i] = -1
-	}
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			pi := (y*w + x) * 4
-			r := int(f.Pix[pi])
-			g := int(f.Pix[pi+1])
-			b := int(f.Pix[pi+2])
-			best, bestDist := -1, objectMatchThreshold*objectMatchThreshold+1
-			for k, oc := range objectClasses {
-				dr := r - int(oc.color.R)
-				dg := g - int(oc.color.G)
-				db := b - int(oc.color.B)
-				if d := dr*dr + dg*dg + db*db; d < bestDist {
-					best, bestDist = k, d
+	frame.Stripes(h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := f.Pix[y*w*4 : (y+1)*w*4]
+			base := y * w
+			for x := 0; x < w; x++ {
+				pi := x * 4
+				r := int(row[pi])
+				g := int(row[pi+1])
+				b := int(row[pi+2])
+				if r+g+b < minObjectChannelSum {
+					classOf[base+x] = -1
+					continue
 				}
-			}
-			if best >= 0 {
-				classOf[y*w+x] = int8(best)
+				best, bestDist := -1, objectMatchThreshold*objectMatchThreshold+1
+				for k, oc := range objectClasses {
+					dr := r - int(oc.color.R)
+					dg := g - int(oc.color.G)
+					db := b - int(oc.color.B)
+					if d := dr*dr + dg*dg + db*db; d < bestDist {
+						best, bestDist = k, d
+					}
+				}
+				classOf[base+x] = int8(best)
 			}
 		}
-	}
+	})
 
 	// Union-find over same-class 4-neighbours.
 	parent := make([]int32, w*h)

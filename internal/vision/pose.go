@@ -35,6 +35,14 @@ func (p Point) Dist(q Point) float64 {
 	return math.Sqrt(dx*dx + dy*dy)
 }
 
+// DistSq returns the squared Euclidean distance between p and q. Prefer it
+// over Dist in nearest-neighbour comparisons where only the ordering
+// matters: squaring is monotone, so the sqrt buys nothing but latency.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
 // NumKeypoints is the number of pose keypoints, matching the paper's
 // 17-keypoint 2D pose detector (COCO layout).
 const NumKeypoints = 17

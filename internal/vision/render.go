@@ -59,18 +59,44 @@ func RenderPose(f *frame.Frame, p Pose) {
 }
 
 // RenderScene fills a frame with the synthetic camera scene: background
-// plus the subject's pose.
+// plus the subject's pose. The background clear — the only full-frame pass
+// the renderer makes — runs row-parallel across the shared worker group;
+// the pose drawing touches a few thousand pixels and stays serial.
 func RenderScene(f *frame.Frame, p Pose) {
-	f.Fill(backgroundColor)
+	fillBackground(f)
 	RenderPose(f, p)
+}
+
+// fillBackground clears the frame: row 0 is painted once by copy-doubling,
+// then the remaining rows copy it, striped across workers.
+func fillBackground(f *frame.Frame) {
+	stride := f.Width * 4
+	if stride <= 0 || f.Height <= 0 {
+		return
+	}
+	row0 := f.Pix[:stride]
+	row0[0] = backgroundColor.R
+	row0[1] = backgroundColor.G
+	row0[2] = backgroundColor.B
+	row0[3] = backgroundColor.A
+	for filled := 4; filled < stride; filled *= 2 {
+		copy(row0[filled:], row0[:filled])
+	}
+	frame.Stripes(f.Height-1, func(lo, hi int) {
+		for y := lo + 1; y < hi+1; y++ {
+			copy(f.Pix[y*stride:(y+1)*stride], row0)
+		}
+	})
 }
 
 // SceneRenderer returns a frame.Renderer producing an exercising subject,
 // for use as a pipeline video source: the given activity at repRate reps
-// per second, captured at the idealized camera position.
+// per second, captured at the idealized camera position. Frames draw their
+// buffers from the frame pool; the emit callback (or the store the frame
+// lands in) owns the Release.
 func SceneRenderer(width, height int, a Activity, repRate float64, s Subject) frame.Renderer {
 	return func(seq uint64, elapsed time.Duration) (*frame.Frame, error) {
-		f, err := frame.New(width, height)
+		f, err := frame.NewPooled(width, height)
 		if err != nil {
 			return nil, err
 		}

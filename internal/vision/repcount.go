@@ -160,8 +160,11 @@ func (rc *RepCounter) fit() {
 	rc.fitted = true
 }
 
+// nearest labels a frame by nearest centroid on squared distance (ordering
+// only — no sqrt), abandoning the second distance once it can't win.
 func (rc *RepCounter) nearest(f []float64) int {
-	if sqDist(f, rc.centroids[0]) <= sqDist(f, rc.centroids[1]) {
+	d0 := sqDist(f, rc.centroids[0])
+	if sqDistLimit(f, rc.centroids[1], d0) >= d0 {
 		return 0
 	}
 	return 1

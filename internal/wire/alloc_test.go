@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// assertAllocs pins a steady-state allocation count. Under -race the
+// bound is logged, not enforced (instrumentation skews the counts), but
+// the loops still run so races are caught.
+func assertAllocs(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if raceEnabled {
+		t.Logf("%s: %.1f allocs/op (bound %.0f not enforced under -race)", what, got, want)
+		return
+	}
+	if got > want {
+		t.Errorf("%s: %.1f allocs/op, want <= %.0f", what, got, want)
+	}
+}
+
+func TestMessageRoundTripAllocs(t *testing.T) {
+	m := StringMessage("service", `{"x":1}`, "0123456789abcdef0123456789abcdef")
+
+	// Steady-state encode into a reused scratch buffer is copy-only.
+	var scratch []byte
+	encode := testing.AllocsPerRun(200, func() {
+		var err error
+		scratch, err = m.EncodeTo(scratch[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertAllocs(t, "EncodeTo into scratch", encode, 0)
+
+	// A full round trip adds the receiver's owned message: one body
+	// buffer, one parts slice (part payloads borrow the body buffer).
+	rd := bytes.NewReader(nil)
+	roundTrip := testing.AllocsPerRun(200, func() {
+		scratch, _ = m.EncodeTo(scratch[:0])
+		rd.Reset(scratch)
+		got, err := ReadMessage(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != m.Len() {
+			t.Fatalf("round trip lost parts: %d != %d", got.Len(), m.Len())
+		}
+	})
+	assertAllocs(t, "EncodeTo+ReadMessage round trip", roundTrip, 4)
+}

@@ -19,7 +19,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
+
+// bytesCopied counts payload bytes the wire layer copies (encode and
+// Clone). With scratch-buffer encoding and borrow-not-clone delivery the
+// steady state is exactly one copy per message — into the socket write
+// buffer — so this counter growing faster than the send rate times message
+// size flags a copy regression. Surfaced by vpbench as wire.bytes_copied.
+var bytesCopied atomic.Uint64
+
+// BytesCopied reports the cumulative wire.bytes_copied counter.
+func BytesCopied() uint64 { return bytesCopied.Load() }
 
 // MaxMessageSize bounds a single encoded message, protecting receivers from
 // hostile or corrupt length prefixes. Video frames at home resolutions fit
@@ -70,6 +81,8 @@ func (m Message) Size() int {
 }
 
 // Clone deep-copies the message so the original buffers can be reused.
+// Hot paths should prefer borrowing (see Pull.Recv and the RPC handoffs) —
+// Clone exists for consumers that must outlive the producer's buffer.
 func (m Message) Clone() Message {
 	out := Message{Parts: make([][]byte, len(m.Parts))}
 	for i, p := range m.Parts {
@@ -77,6 +90,7 @@ func (m Message) Clone() Message {
 		copy(c, p)
 		out.Parts[i] = c
 	}
+	bytesCopied.Add(uint64(m.Size()))
 	return out
 }
 
@@ -102,26 +116,53 @@ func uvarintLen(v uint64) int {
 	return n
 }
 
-// WriteMessage encodes m to w as a single length-prefixed record:
+// EncodeTo appends m's complete wire record to dst and returns the
+// extended slice, reusing dst's capacity when it suffices:
 //
 //	[4-byte big-endian body length][uvarint part count]{[uvarint len][bytes]}*
-func WriteMessage(w io.Writer, m Message) error {
+//
+// Sockets call it with a per-socket scratch buffer (under their write
+// mutex), so steady-state sends encode with zero allocations.
+func (m Message) EncodeTo(dst []byte) ([]byte, error) {
 	body := m.encodedSize()
 	if body > MaxMessageSize {
-		return errMessageTooLarge
+		return dst, errMessageTooLarge
 	}
-	buf := make([]byte, 0, 4+body)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(body))
-	buf = binary.AppendUvarint(buf, uint64(len(m.Parts)))
+	if need := len(dst) + 4 + body; cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	dst = binary.AppendUvarint(dst, uint64(len(m.Parts)))
 	for _, p := range m.Parts {
-		buf = binary.AppendUvarint(buf, uint64(len(p)))
-		buf = append(buf, p...)
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+		dst = append(dst, p...)
 	}
-	_, err := w.Write(buf)
+	bytesCopied.Add(uint64(m.Size()))
+	return dst, nil
+}
+
+// WriteMessage encodes m to w as a single length-prefixed record,
+// allocating a fresh buffer. Hot paths use writeMessageBuf with a reusable
+// scratch buffer instead.
+func WriteMessage(w io.Writer, m Message) error {
+	_, err := writeMessageBuf(w, m, nil)
+	return err
+}
+
+// writeMessageBuf encodes m into scratch's spare capacity and writes the
+// record as a single Write call. It returns the (possibly regrown) scratch
+// for the next send; the caller must serialize calls per writer.
+func writeMessageBuf(w io.Writer, m Message, scratch []byte) ([]byte, error) {
+	buf, err := m.EncodeTo(scratch[:0])
 	if err != nil {
-		return fmt.Errorf("wire: write message: %w", err)
+		return scratch, err
 	}
-	return nil
+	if _, err := w.Write(buf); err != nil {
+		return buf, fmt.Errorf("wire: write message: %w", err)
+	}
+	return buf, nil
 }
 
 // ReadMessage decodes one message from r.
@@ -144,6 +185,10 @@ func ReadMessage(r io.Reader) (Message, error) {
 	return decodeBody(buf)
 }
 
+// decodeBody parses the parts out of one read buffer. Parts borrow
+// subslices of buf rather than copying — the buffer is dedicated to this
+// message, so the returned Message owns it and downstream consumers may
+// hold the parts as long as they hold the message.
 func decodeBody(buf []byte) (Message, error) {
 	count, n := binary.Uvarint(buf)
 	if n <= 0 {

@@ -30,6 +30,12 @@ type Push struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
+
+	// writeMu serializes encodes and writes; scratch is the per-socket
+	// encode buffer it guards, reused across sends (copy elision: one
+	// copy per message, into this buffer).
+	writeMu sync.Mutex
+	scratch []byte
 }
 
 // DialPush creates a push socket that will connect to address on first use.
@@ -44,7 +50,10 @@ func (p *Push) Send(ctx context.Context, m Message) error {
 	for {
 		conn, err := p.ensureConn(ctx)
 		if err == nil {
-			if err = WriteMessage(conn, m); err == nil {
+			p.writeMu.Lock()
+			p.scratch, err = writeMessageBuf(conn, m, p.scratch)
+			p.writeMu.Unlock()
+			if err == nil {
 				return nil
 			}
 			p.dropConn(conn)
@@ -178,6 +187,11 @@ func (p *Pull) readLoop(conn net.Conn) {
 }
 
 // Recv returns the next message from any connected peer.
+//
+// Ownership: the message's parts borrow the single buffer ReadMessage
+// allocated for it — no per-part copies were made, and the buffer is not
+// reused for later messages. The receiver owns the message outright and
+// may hold or mutate the parts indefinitely.
 func (p *Pull) Recv(ctx context.Context) (Message, error) {
 	select {
 	case m := <-p.msgs:

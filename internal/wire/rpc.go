@@ -53,6 +53,7 @@ type Caller struct {
 	mu          sync.Mutex
 	conn        net.Conn
 	writeMu     sync.Mutex
+	scratch     []byte // encode buffer guarded by writeMu, reused across calls
 	pending     map[uint64]chan callResult
 	nextID      uint64
 	closed      bool
@@ -175,12 +176,14 @@ func (c *Caller) tryCall(ctx context.Context, req Message) (Message, error) {
 		c.mu.Unlock()
 	}()
 
+	// The framed request borrows req's parts — they are copied exactly
+	// once, into the scratch buffer, by the encode below.
 	var idPart [8]byte
 	binary.BigEndian.PutUint64(idPart[:], id)
 	framed := Message{Parts: append([][]byte{idPart[:]}, req.Parts...)}
 
 	c.writeMu.Lock()
-	err = WriteMessage(conn, framed)
+	c.scratch, err = writeMessageBuf(conn, framed, c.scratch)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.dropConn(conn, err)
@@ -250,6 +253,9 @@ func (c *Caller) readLoop(conn net.Conn) {
 		res := callResult{}
 		switch m.Part(1)[0] {
 		case statusOK:
+			// Borrow-not-clone: the response keeps m's parts (all
+			// subslices of one read buffer dedicated to this message), so
+			// delivery to the waiting call costs zero copies.
 			res.msg = Message{Parts: m.Parts[2:]}
 		case statusErr:
 			res.err = &RemoteError{Msg: m.StringPart(2)}
@@ -357,7 +363,10 @@ func (r *Responder) acceptLoop() {
 func (r *Responder) serveConn(conn net.Conn) {
 	defer r.wg.Done()
 	defer conn.Close()
+	// writeMu serializes response writes from concurrent handlers;
+	// scratch is the per-connection encode buffer it guards.
 	var writeMu sync.Mutex
+	var scratch []byte
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go func() {
@@ -373,6 +382,9 @@ func (r *Responder) serveConn(conn net.Conn) {
 		if m.Len() < 1 || len(m.Part(0)) != 8 {
 			return
 		}
+		// Borrow-not-clone: the handler's request keeps m's parts (one
+		// read buffer per message, never reused), so the handler may hold
+		// them for the duration of the call without a defensive copy.
 		id := m.Part(0)
 		req := Message{Parts: m.Parts[1:]}
 		r.wg.Add(1)
@@ -390,7 +402,7 @@ func (r *Responder) serveConn(conn net.Conn) {
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			// Best effort: a broken connection is detected by the read loop.
-			_ = WriteMessage(conn, out)
+			scratch, _ = writeMessageBuf(conn, out, scratch)
 		}()
 	}
 }
