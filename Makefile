@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check test race cover alloc bench chaos fuzz experiments examples clean
+.PHONY: all build vet lint check test race cover alloc bench chaos heal fuzz experiments examples clean
 
 all: build vet test
 
@@ -46,6 +46,14 @@ cover:
 VP_CHAOS_SEED ?= 1
 chaos:
 	VP_CHAOS_SEED=$(VP_CHAOS_SEED) $(GO) test -race -v -run 'TestChaos' .
+
+# Self-healing gate: the supervised chaos e2e suite (recovery left wholly
+# to the supervisor, exact journal assertions) plus the supervisor,
+# migration, breaker and snapshot unit tests — all under the race
+# detector with a pinned seed.
+heal:
+	VP_CHAOS_SEED=$(VP_CHAOS_SEED) $(GO) test -race -v -run 'TestChaos' .
+	$(GO) test -race -run 'TestSupervisor|TestMigrate|TestBreaker|TestSnapshot' ./internal/core ./internal/services ./internal/script
 
 # Short coverage-guided fuzz pass over the PipeScript and config parsers
 # (seed corpora alone run in `make test`).

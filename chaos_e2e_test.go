@@ -112,13 +112,33 @@ func TestChaosResilience(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
 	// Scenarios where the fault freezes whole stages long enough for the
-	// monitor's stall detector to flag the pipeline degraded.
-	wantDegraded := map[string]bool{"desktop_reboot": true, "pose_pool_kill": true}
+	// monitor's stall detector to flag the pipeline degraded. With the
+	// supervisor in the loop a killed pool restarts within a couple of
+	// probe intervals — faster than the 500 ms stall bar — so only faults
+	// it must wait out (a reboot) or detect slowly (a device death) still
+	// show degraded time.
+	wantDegraded := map[string]bool{"desktop_reboot": true, "device_crash": true}
 
-	for _, sc := range experiments.DefaultChaosScenarios() {
+	// The supervisor's recovery journal per scenario. The injector runs
+	// with ExternalRepair, so every entry here is the only reason the
+	// scenario recovers — and the journal is seed-deterministic by
+	// construction (no timestamps, sorted iteration, config-order
+	// targets), so these are exact matches, never retried.
+	wantJournal := map[string][]string{
+		"flaky_wifi":     {}, // link faults heal on their own; no intervention
+		"desktop_reboot": {}, // reboot completes before the dead-declaration bar
+		"pose_pool_kill": {"restart_service " + services.PoseDetector},
+		"device_crash": {
+			"device_dead tv",
+			"redeploy_service " + services.Display + " tv->desktop",
+			"migrate_module chaos_device_crash.display tv->desktop",
+		},
+	}
+
+	for _, sc := range experiments.SupervisedChaosScenarios() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
-			opts := experiments.Options{RunDuration: 2 * time.Second, Registry: reg}
+			opts := experiments.Options{RunDuration: 2 * time.Second, Registry: reg, Supervise: true}
 
 			// The recovery bar is statistical (delivered-rate windows on a
 			// loaded scheduler), so one retry absorbs machine noise; the
@@ -168,6 +188,20 @@ func TestChaosResilience(t *testing.T) {
 			if wantDegraded[sc.Name] && row.DegradedSeconds <= 0 {
 				t.Errorf("monitor observed no degraded time for %s", sc.Name)
 			}
+
+			// Recovery journal: exactly the expected actions, in order.
+			wantJ, known := wantJournal[sc.Name]
+			if !known {
+				t.Fatalf("no expected journal for scenario %s", sc.Name)
+			}
+			if len(row.Journal) != len(wantJ) {
+				t.Fatalf("journal = %v, want %v", row.Journal, wantJ)
+			}
+			for i := range wantJ {
+				if row.Journal[i] != wantJ[i] {
+					t.Fatalf("journal = %v, want %v", row.Journal, wantJ)
+				}
+			}
 		})
 	}
 
@@ -179,7 +213,7 @@ func TestChaosResilience(t *testing.T) {
 // a different seed actually perturbs the generated ones.
 func TestChaosSameSeedSameSchedule(t *testing.T) {
 	seed := chaosSeed(t)
-	for _, sc := range experiments.DefaultChaosScenarios() {
+	for _, sc := range experiments.SupervisedChaosScenarios() {
 		a := resolveSchedule(sc, seed)
 		b := resolveSchedule(sc, seed)
 		if a.Fingerprint() != b.Fingerprint() {

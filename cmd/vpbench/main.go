@@ -31,22 +31,23 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: fig6|table2|activity|repcount|scaleout|queueing|codec|broker|workers|planners|chaos|all")
-		dur   = flag.Duration("dur", 3*time.Second, "measurement window per configuration")
-		scene = flag.String("scene", "squat", "exercise the synthetic subject performs")
-		seed  = flag.Int64("seed", 1, "seed for the accuracy experiments and the chaos fault schedule")
-		out   = flag.String("out", "BENCH_results.json", "machine-readable report path (empty disables)")
+		exp       = flag.String("exp", "all", "experiment to run: fig6|table2|activity|repcount|scaleout|queueing|codec|broker|workers|planners|chaos|all")
+		dur       = flag.Duration("dur", 3*time.Second, "measurement window per configuration")
+		scene     = flag.String("scene", "squat", "exercise the synthetic subject performs")
+		seed      = flag.Int64("seed", 1, "seed for the accuracy experiments and the chaos fault schedule")
+		out       = flag.String("out", "BENCH_results.json", "machine-readable report path (empty disables)")
+		supervise = flag.Bool("supervise", false, "run chaos under the self-healing supervisor (adds the device_crash scenario; the injector stops repairing pools itself)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *dur, *scene, *seed, *out); err != nil {
+	if err := run(*exp, *dur, *scene, *seed, *out, *supervise); err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, dur time.Duration, scene string, seed int64, out string) error {
-	opts := experiments.Options{RunDuration: dur, Scene: scene}
+func run(exp string, dur time.Duration, scene string, seed int64, out string, supervise bool) error {
+	opts := experiments.Options{RunDuration: dur, Scene: scene, Supervise: supervise}
 
 	// The heavier pipeline experiments share one paper-calibrated registry
 	// so the classifier trains once.
@@ -261,8 +262,16 @@ func runPlanners(o experiments.Options, e *benchEntry) error {
 }
 
 func runChaos(o experiments.Options, seed int64, e *benchEntry) error {
-	header("Resilience — deterministic fault injection and recovery")
-	rows, err := experiments.Chaos(o, seed, nil)
+	if o.Supervise {
+		header("Resilience — supervised fault injection and self-healing recovery")
+	} else {
+		header("Resilience — deterministic fault injection and recovery")
+	}
+	var scenarios []experiments.ChaosScenario
+	if o.Supervise {
+		scenarios = experiments.SupervisedChaosScenarios()
+	}
+	rows, err := experiments.Chaos(o, seed, scenarios)
 	if err != nil {
 		return err
 	}
@@ -273,8 +282,15 @@ func runChaos(o experiments.Options, seed int64, e *benchEntry) error {
 		e.set(r.Scenario+"_during_fps", r.DuringFPS)
 		e.set(r.Scenario+"_post_fps", r.PostFPS)
 		e.setDurationMS(r.Scenario+"_recovery_ms", r.Recovery)
+		if o.Supervise {
+			e.set(r.Scenario+"_recovery_actions", float64(len(r.Journal)))
+		}
 	}
-	fmt.Println("(expected: post-fault FPS within 10% of pre-fault; same seed replays the same schedule)")
+	if o.Supervise {
+		fmt.Println("(expected: every scenario — including the permanent device crash — back within 10% of pre-fault; recovery is the supervisor's alone)")
+	} else {
+		fmt.Println("(expected: post-fault FPS within 10% of pre-fault; same seed replays the same schedule)")
+	}
 	return nil
 }
 

@@ -9,24 +9,24 @@ import (
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("warpdrive", time.Second, "squat", 1, ""); err == nil {
+	if err := run("warpdrive", time.Second, "squat", 1, "", false); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunAccuracyExperiments(t *testing.T) {
 	// The accuracy experiments need no pipeline runs and finish quickly.
-	if err := run("activity", time.Second, "squat", 1, ""); err != nil {
+	if err := run("activity", time.Second, "squat", 1, "", false); err != nil {
 		t.Fatalf("activity: %v", err)
 	}
-	if err := run("repcount", time.Second, "squat", 1, ""); err != nil {
+	if err := run("repcount", time.Second, "squat", 1, "", false); err != nil {
 		t.Fatalf("repcount: %v", err)
 	}
 }
 
 func TestRunWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_results.json")
-	if err := run("activity", time.Second, "squat", 1, out); err != nil {
+	if err := run("activity", time.Second, "squat", 1, out, false); err != nil {
 		t.Fatalf("activity: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -58,7 +58,7 @@ func TestRunFig6Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds the full service registry and runs pipelines")
 	}
-	if err := run("fig6", 1200*time.Millisecond, "squat", 1, ""); err != nil {
+	if err := run("fig6", 1200*time.Millisecond, "squat", 1, "", false); err != nil {
 		t.Fatalf("fig6: %v", err)
 	}
 }

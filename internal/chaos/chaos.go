@@ -35,6 +35,10 @@ const (
 	// KindPauseDevice freezes a device's modules and pools (target:
 	// device name), then resumes them.
 	KindPauseDevice
+	// KindDeviceCrash kills a device permanently (target: device name):
+	// it hangs and drops off the network for every peer, and is never
+	// reversed — recovery is the supervisor's job, not the injector's.
+	KindDeviceCrash
 )
 
 // String names the kind.
@@ -50,6 +54,8 @@ func (k Kind) String() string {
 		return "kill_service"
 	case KindPauseDevice:
 		return "pause_device"
+	case KindDeviceCrash:
+		return "device_crash"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -139,6 +145,10 @@ type GenOptions struct {
 	Services []string
 	// Devices lists device names eligible for pause events.
 	Devices []string
+	// CrashDevices lists device names eligible for permanent crash
+	// events. Crashes are unrecoverable without a supervisor, so only
+	// supervised experiments should populate this.
+	CrashDevices []string
 	// MinDuration and MaxDuration bound each fault's length; zeros select
 	// 200 ms and 800 ms.
 	MinDuration time.Duration
@@ -184,6 +194,11 @@ func Generate(seed int64, o GenOptions) Schedule {
 	}
 	if len(o.Devices) > 0 {
 		choices = append(choices, choice{KindPauseDevice, o.Devices})
+	}
+	// Appended after the legacy classes so existing seeds keep producing
+	// byte-identical schedules when CrashDevices is empty.
+	if len(o.CrashDevices) > 0 {
+		choices = append(choices, choice{KindDeviceCrash, o.CrashDevices})
 	}
 	if len(choices) == 0 {
 		return nil

@@ -69,6 +69,62 @@ func TestGenerateRespectsOptions(t *testing.T) {
 	}
 }
 
+// TestGenerateCrashDevices checks the device_crash class: populated
+// CrashDevices yield seed-stable device_crash events, and an empty
+// CrashDevices leaves legacy seeds byte-identical — the new class is
+// appended after the old ones so existing golden fingerprints hold.
+func TestGenerateCrashDevices(t *testing.T) {
+	legacy := GenOptions{
+		Horizon:  3 * time.Second,
+		Events:   12,
+		Links:    []string{LinkTarget("phone", "desktop")},
+		Services: []string{"pose_detection"},
+		Devices:  []string{"desktop"},
+	}
+	withCrash := legacy
+	withCrash.CrashDevices = []string{"tv"}
+
+	// Empty CrashDevices must not perturb legacy schedules.
+	if Generate(42, legacy).Fingerprint() != Generate(42, GenOptions{
+		Horizon:      legacy.Horizon,
+		Events:       legacy.Events,
+		Links:        legacy.Links,
+		Services:     legacy.Services,
+		Devices:      legacy.Devices,
+		CrashDevices: nil,
+	}).Fingerprint() {
+		t.Error("nil CrashDevices changed a legacy schedule")
+	}
+
+	a := Generate(42, withCrash)
+	if a.Fingerprint() != Generate(42, withCrash).Fingerprint() {
+		t.Error("crash-enabled generation not seed-deterministic")
+	}
+	crashes := 0
+	for _, ev := range a {
+		if ev.Kind == KindDeviceCrash {
+			crashes++
+			if ev.Target != "tv" {
+				t.Errorf("device_crash target %q, want tv", ev.Target)
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Error("no device_crash events drawn over 12 events with 6 classes")
+	}
+	if !strings.Contains(a.Fingerprint(), "device_crash tv") {
+		t.Errorf("fingerprint missing device_crash: %q", a.Fingerprint())
+	}
+
+	// Crash-only generation works too.
+	only := Generate(7, GenOptions{Events: 4, CrashDevices: []string{"tv", "phone"}})
+	for i, ev := range only {
+		if ev.Kind != KindDeviceCrash {
+			t.Errorf("event %d kind %v, want device_crash", i, ev.Kind)
+		}
+	}
+}
+
 func TestGenerateWithNoTargetsIsEmpty(t *testing.T) {
 	if s := Generate(1, GenOptions{Events: 5}); s != nil {
 		t.Errorf("targetless generation produced %v", s)
@@ -213,6 +269,51 @@ func TestInjectorPausesAndResumesDevice(t *testing.T) {
 	inj.Run(context.Background(), s)
 	if desktop.Paused() {
 		t.Error("device still paused after Run")
+	}
+}
+
+// TestInjectorDeviceCrashIsPermanent injects a device_crash and verifies
+// the fault is never reversed: the device stays crashed and partitioned
+// from every peer after Run returns.
+func TestInjectorDeviceCrashIsPermanent(t *testing.T) {
+	c := testCluster(t)
+	inj := NewInjector(c)
+	s := Schedule{{At: 0, Kind: KindDeviceCrash, Target: "desktop", Duration: 20 * time.Millisecond}}
+	applied := inj.Run(context.Background(), s)
+	if len(applied) != 1 || applied[0].Kind != KindDeviceCrash {
+		t.Fatalf("applied = %v, want one device_crash", applied)
+	}
+	desktop, _ := c.Device("desktop")
+	if !desktop.Crashed() {
+		t.Error("device not crashed after Run")
+	}
+	if !c.Network().Partitioned("phone", "desktop") {
+		t.Error("crashed device's links healed: crash must be permanent")
+	}
+}
+
+// TestInjectorExternalRepair verifies that with ExternalRepair set the
+// injector leaves a killed pool down (the supervisor's job) while still
+// reversing link faults itself.
+func TestInjectorExternalRepair(t *testing.T) {
+	c := testCluster(t)
+	inj := NewInjector(c)
+	inj.ExternalRepair = true
+	link := LinkTarget("phone", "desktop")
+	s := Schedule{
+		{At: 0, Kind: KindKillService, Target: "echo", Duration: 20 * time.Millisecond},
+		{At: 0, Kind: KindPartition, Target: link, Duration: 20 * time.Millisecond},
+	}
+	inj.Run(context.Background(), s)
+	pool, err := c.Pool("echo")
+	if err != nil {
+		t.Fatalf("Pool: %v", err)
+	}
+	if pool.Size() != 0 {
+		t.Errorf("pool size = %d after external-repair run, want 0 (left for the supervisor)", pool.Size())
+	}
+	if c.Network().Partitioned("phone", "desktop") {
+		t.Error("partition not reversed: link faults heal regardless of ExternalRepair")
 	}
 }
 

@@ -39,6 +39,13 @@ type Injector struct {
 	// retransmission on otherwise-nominal Wi-Fi.
 	Burst netsim.LinkProfile
 
+	// ExternalRepair hands kill_service recovery to an external agent
+	// (the supervisor): the injector stops restoring killed pools itself,
+	// so a test passing only proves the supervisor healed the cluster.
+	// Link faults and device pauses still reverse (a reboot completes, a
+	// cable comes back, with or without a supervisor).
+	ExternalRepair bool
+
 	mu      sync.Mutex
 	applied []Applied
 }
@@ -148,6 +155,9 @@ func (inj *Injector) apply(ev Event) (func(), error) {
 			return nil, fmt.Errorf("chaos: pool %q already empty", ev.Target)
 		}
 		pool.Kill(prev)
+		if inj.ExternalRepair {
+			return func() {}, nil
+		}
 		return func() { _ = pool.Scale(context.Background(), prev) }, nil
 
 	case KindPauseDevice:
@@ -157,6 +167,23 @@ func (inj *Injector) apply(ev Event) (func(), error) {
 		}
 		dev.Pause()
 		return dev.Resume, nil
+
+	case KindDeviceCrash:
+		dev, ok := inj.cluster.Device(ev.Target)
+		if !ok {
+			return nil, fmt.Errorf("chaos: unknown device %q", ev.Target)
+		}
+		// A crashed host hangs (Crash) and drops off the LAN for every
+		// peer; the supervisor's probe vantage point is not a device, so
+		// it still observes the hang and can declare death. The fault is
+		// permanent: there is deliberately no reversal.
+		dev.Crash()
+		for _, other := range inj.cluster.DeviceNames() {
+			if other != ev.Target {
+				nw.Partition(other, ev.Target)
+			}
+		}
+		return func() {}, nil
 
 	default:
 		return nil, fmt.Errorf("chaos: unknown event kind %v", ev.Kind)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -45,6 +46,7 @@ type Cluster struct {
 	mu          sync.Mutex
 	devices     map[string]*device.Device
 	order       []string
+	down        map[string]bool   // devices declared dead by the supervisor
 	serviceHost map[string]string // service -> device name
 	pipelines   []*Pipeline
 	closed      bool
@@ -68,6 +70,7 @@ func NewCluster(spec ClusterSpec, registry *services.Registry) (*Cluster, error)
 		registry:    registry,
 		reg:         metrics.NewRegistry(),
 		devices:     make(map[string]*device.Device),
+		down:        make(map[string]bool),
 		serviceHost: make(map[string]string),
 	}
 	for _, dc := range spec.Devices {
@@ -142,11 +145,99 @@ func (c *Cluster) Device(name string) (*device.Device, bool) {
 	return d, ok
 }
 
-// DeviceNames lists the devices in configuration order.
+// DeviceNames lists the live devices in configuration order. Devices
+// declared dead via MarkDown are excluded, so planners re-planning after
+// a failure never place modules on them.
 func (c *Cluster) DeviceNames() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]string(nil), c.order...)
+	out := make([]string, 0, len(c.order))
+	for _, n := range c.order {
+		if !c.down[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MarkDown declares a device dead — the supervisor's verdict after
+// repeated missed health probes. The device stays reachable through
+// Device (teardown still needs it) but disappears from DeviceNames and
+// from future plans.
+func (c *Cluster) MarkDown(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down[name] = true
+}
+
+// IsDown reports whether a device has been declared dead.
+func (c *Cluster) IsDown(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[name]
+}
+
+// Pipelines snapshots the pipelines launched on this cluster.
+func (c *Cluster) Pipelines() []*Pipeline {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Pipeline(nil), c.pipelines...)
+}
+
+// RedeployService moves a service pool to a new host device — the
+// failover path after the original host dies. The pool is deployed fresh
+// on the target (reusing an existing pool if the target already hosts
+// one), the target's server picks it up, and every live device's remote
+// directory is repointed. Callers resolving via Cluster.Pool see the new
+// host immediately.
+func (c *Cluster) RedeployService(ctx context.Context, service, target string, instances int) error {
+	d, ok := c.Device(target)
+	if !ok {
+		return fmt.Errorf("core: redeploy %q: unknown device %q", service, target)
+	}
+	if c.IsDown(target) {
+		return fmt.Errorf("core: redeploy %q: device %q is down", service, target)
+	}
+	spec, err := c.registry.Lookup(service)
+	if err != nil {
+		return err
+	}
+	if instances <= 0 {
+		instances = 1
+	}
+	if pool, hosted := d.Pool(service); hosted {
+		// Target already hosts a pool (perhaps drained); make sure it is
+		// big enough, paying any simulated container spin-up here.
+		if pool.Size() < instances {
+			if err := pool.Scale(ctx, instances); err != nil {
+				return err
+			}
+		}
+	} else {
+		if _, err := d.DeployService(spec, instances); err != nil {
+			return err
+		}
+	}
+	addr, err := d.ServeServices(0)
+	if err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	c.serviceHost[service] = target
+	devs := make(map[string]*device.Device, len(c.devices))
+	for n, dev := range c.devices {
+		if n == target || c.down[n] {
+			continue
+		}
+		devs[n] = dev
+	}
+	c.mu.Unlock()
+
+	for _, dev := range devs {
+		dev.RegisterRemoteService(service, addr.String())
+	}
+	return nil
 }
 
 // ServiceHost reports which device hosts a service pool.

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// ActionKind classifies one supervisor recovery action.
+type ActionKind int
+
+// Recovery action kinds. Enums start at one.
+const (
+	// ActionRestartService restored a dead or error-bursting pool.
+	ActionRestartService ActionKind = iota + 1
+	// ActionDeviceDead declared a device dead after missed probes.
+	ActionDeviceDead
+	// ActionRedeployService moved a dead device's pool to a survivor.
+	ActionRedeployService
+	// ActionMigrateModule live-migrated a module off a dead device.
+	ActionMigrateModule
+)
+
+// Action is one journal entry: what the supervisor did and to what. It
+// deliberately carries no timestamps — journals are compared across runs
+// of the same seed, and wall-clock would break that.
+type Action struct {
+	Kind   ActionKind
+	Target string
+	From   string
+	To     string
+}
+
+// String renders the action for journals and logs.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActionRestartService:
+		return "restart_service " + a.Target
+	case ActionDeviceDead:
+		return "device_dead " + a.Target
+	case ActionRedeployService:
+		return fmt.Sprintf("redeploy_service %s %s->%s", a.Target, a.From, a.To)
+	case ActionMigrateModule:
+		return fmt.Sprintf("migrate_module %s %s->%s", a.Target, a.From, a.To)
+	default:
+		return fmt.Sprintf("action(%d) %s", int(a.Kind), a.Target)
+	}
+}
+
+// errUnknownDevice keeps the supervisor's error text in one place.
+func errUnknownDevice(name string) error {
+	return fmt.Errorf("core: supervisor: unknown device %q", name)
+}
+
+// declareDead runs the full failover sequence for a device that missed
+// too many probes: mark it down (planners stop seeing it), move its
+// service pools to surviving container-capable devices, then re-plan
+// every pipeline and live-migrate the orphaned modules.
+func (s *Supervisor) declareDead(ctx context.Context, name string) {
+	s.cluster.MarkDown(name)
+	s.record(Action{Kind: ActionDeviceDead, Target: name})
+	s.cluster.Metrics().Meter("supervisor.devices_dead").Mark()
+
+	// Move every pool the dead device hosted. Services iterate sorted
+	// (ServiceNames) and the target is the first surviving
+	// container-capable device in configuration order, so the journal is
+	// identical run to run.
+	for _, svc := range s.cluster.ServiceNames() {
+		host, ok := s.cluster.ServiceHost(svc)
+		if !ok || host != name {
+			continue
+		}
+		target, ok := s.redeployTarget()
+		if !ok {
+			continue
+		}
+		desired := 1
+		s.mu.Lock()
+		if st, ok := s.svc[svc]; ok && st.desired > 0 {
+			desired = st.desired
+		}
+		s.mu.Unlock()
+		if err := s.cluster.RedeployService(ctx, svc, target, desired); err != nil {
+			continue
+		}
+		s.record(Action{Kind: ActionRedeployService, Target: svc, From: name, To: target})
+	}
+
+	// Re-plan and migrate. Launch order of pipelines is stable, and
+	// FailOver migrates orphans in sorted order.
+	for _, p := range s.cluster.Pipelines() {
+		migrated, _ := p.FailOver(name)
+		placement := p.Placement()
+		for _, mod := range migrated {
+			s.record(Action{
+				Kind:   ActionMigrateModule,
+				Target: p.Name() + "." + mod,
+				From:   name,
+				To:     placement[mod],
+			})
+		}
+	}
+}
+
+// redeployTarget picks the first surviving container-capable device in
+// configuration order.
+func (s *Supervisor) redeployTarget() (string, bool) {
+	for _, name := range s.cluster.DeviceNames() {
+		if d, ok := s.cluster.Device(name); ok && d.ContainerCapable() {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// checkServices walks the monitor's service view and restarts pools that
+// are dead (zero instances) or error-bursting, under backoff and budget.
+func (s *Supervisor) checkServices(ctx context.Context, rep Report) {
+	reg := s.cluster.Metrics()
+	now := time.Now()
+	for _, sh := range rep.Services {
+		svc := sh.Service
+		if s.cluster.IsDown(sh.Device) {
+			// The failover path owns this pool now.
+			continue
+		}
+		pool, err := s.cluster.Pool(svc)
+		if err != nil {
+			continue
+		}
+		if pool.Paused() {
+			// Hung host (chaos reboot): it will resume; restarting a
+			// paused pool would just block here too.
+			continue
+		}
+
+		s.mu.Lock()
+		st, ok := s.svc[svc]
+		if !ok {
+			st = &svcState{healthySince: now}
+			s.svc[svc] = st
+		}
+
+		// Error-burst detection from the per-service error meter. The
+		// meter can move backwards when the experiment harness resets the
+		// registry between phases; treat that as a fresh baseline.
+		cur := reg.Meter("service." + svc + ".errors").Count()
+		if cur < st.lastErr {
+			st.lastErr = cur
+		}
+		delta := cur - st.lastErr
+		st.lastErr = cur
+		if delta > s.cfg.ErrorBurst {
+			st.burstSteps++
+		} else {
+			st.burstSteps = 0
+		}
+
+		size := pool.Size()
+		healthy := size > 0 && st.burstSteps == 0
+		if healthy {
+			st.desired = size
+			if st.healthySince.IsZero() {
+				st.healthySince = now
+			}
+			// Sustained health refills the restart budget.
+			if st.restarts > 0 && now.Sub(st.healthySince) > s.cfg.HealthyAfter {
+				st.restarts = 0
+				st.nextAttempt = time.Time{}
+			}
+			s.mu.Unlock()
+			continue
+		}
+		st.healthySince = time.Time{}
+
+		trigger := size == 0 || st.burstSteps >= 2
+		if !trigger || now.Before(st.nextAttempt) || st.restarts >= s.cfg.MaxRestarts {
+			s.mu.Unlock()
+			continue
+		}
+		desired := st.desired
+		if desired <= 0 {
+			desired = 1
+		}
+		st.restarts++
+		attempt := st.restarts
+		st.burstSteps = 0
+		s.mu.Unlock()
+
+		// Restart: drop the (possibly wedged) instances, then scale back
+		// to the last healthy size.
+		if size > 0 {
+			pool.Kill(size)
+		}
+		err = pool.Scale(ctx, desired)
+		backoff := s.backoffAfter(attempt)
+		if err != nil {
+			s.mu.Lock()
+			st.nextAttempt = time.Now().Add(backoff)
+			s.mu.Unlock()
+			continue
+		}
+		s.record(Action{Kind: ActionRestartService, Target: svc})
+		reg.Meter("supervisor.restarts." + svc).Mark()
+		s.mu.Lock()
+		// Absorb errors that accrued during the outage so the restarted
+		// pool doesn't immediately trip the burst detector again.
+		st.lastErr = reg.Meter("service." + svc + ".errors").Count()
+		st.nextAttempt = time.Now().Add(backoff)
+		s.mu.Unlock()
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"videopipe/internal/device"
 	"videopipe/internal/services"
 	"videopipe/internal/wire"
 )
@@ -110,7 +111,10 @@ type PipelineHealth struct {
 	// stage, or accrued module errors since the previous sample — the
 	// graceful-degradation signal chaos experiments assert on.
 	Degraded bool
-	Modules  []ModuleHealth
+	// Recoveries counts supervisor interventions (module migrations) on
+	// this pipeline, from the pipeline.<name>.recoveries meter.
+	Recoveries uint64
+	Modules    []ModuleHealth
 }
 
 // ServiceHealth is one service pool's observed state.
@@ -120,6 +124,13 @@ type ServiceHealth struct {
 	Instances int
 	InFlight  int
 	Calls     uint64
+	// Restarts counts supervisor pool restarts, from the
+	// supervisor.restarts.<service> meter.
+	Restarts uint64
+	// Breaker is the worst per-device circuit state observed for this
+	// service (open > half-open > closed); zero when no device has called
+	// it remotely yet.
+	Breaker services.BreakerState
 }
 
 // Report is a point-in-time view of the cluster.
@@ -140,7 +151,11 @@ func (r Report) String() string {
 		case p.Degraded:
 			status = "DEGRADED"
 		}
-		fmt.Fprintf(&b, "pipeline %-20s delivered=%-6d %s\n", p.Pipeline, p.Delivered, status)
+		recov := ""
+		if p.Recoveries > 0 {
+			recov = fmt.Sprintf(" recoveries=%d", p.Recoveries)
+		}
+		fmt.Fprintf(&b, "pipeline %-20s delivered=%-6d %s%s\n", p.Pipeline, p.Delivered, status, recov)
 		for _, mod := range p.Modules {
 			note := ""
 			if mod.Stalled {
@@ -150,8 +165,15 @@ func (r Report) String() string {
 		}
 	}
 	for _, s := range r.Services {
-		fmt.Fprintf(&b, "service %-20s on %-8s instances=%d in_flight=%d calls=%d\n",
-			s.Service, s.Device, s.Instances, s.InFlight, s.Calls)
+		extra := ""
+		if s.Restarts > 0 {
+			extra += fmt.Sprintf(" restarts=%d", s.Restarts)
+		}
+		if s.Breaker != 0 && s.Breaker != services.BreakerClosed {
+			extra += " breaker=" + s.Breaker.String()
+		}
+		fmt.Fprintf(&b, "service %-20s on %-8s instances=%d in_flight=%d calls=%d%s\n",
+			s.Service, s.Device, s.Instances, s.InFlight, s.Calls, extra)
 	}
 	return b.String()
 }
@@ -177,7 +199,10 @@ func (m *Monitor) Sample(ctx context.Context) Report {
 	}
 
 	for _, p := range pipelines {
-		ph := PipelineHealth{Pipeline: p.Name()}
+		ph := PipelineHealth{
+			Pipeline:   p.Name(),
+			Recoveries: reg.Meter("pipeline." + p.Name() + ".recoveries").Count(),
+		}
 		running := p.isRunning()
 		for _, sink := range p.cfg.Sinks() {
 			ph.Delivered += reg.Meter("pipeline." + p.prefixed(sink) + ".frames_done").Count()
@@ -259,6 +284,8 @@ func (m *Monitor) Sample(ctx context.Context) Report {
 			Instances: pool.Size(),
 			InFlight:  pool.InFlight(),
 			Calls:     pool.Calls(),
+			Restarts:  reg.Meter("supervisor.restarts." + svc).Count(),
+			Breaker:   m.worstBreaker(svc),
 		})
 	}
 	sort.Slice(rep.Services, func(i, j int) bool { return rep.Services[i].Service < rep.Services[j].Service })
@@ -267,6 +294,36 @@ func (m *Monitor) Sample(ctx context.Context) Report {
 		as.Step(ctx)
 	}
 	return rep
+}
+
+// worstBreaker aggregates a service's circuit state across all devices:
+// any open breaker dominates, then half-open, then closed.
+func (m *Monitor) worstBreaker(service string) services.BreakerState {
+	var worst services.BreakerState
+	rank := func(s services.BreakerState) int {
+		switch s {
+		case services.BreakerOpen:
+			return 3
+		case services.BreakerHalfOpen:
+			return 2
+		case services.BreakerClosed:
+			return 1
+		default:
+			return 0
+		}
+	}
+	m.cluster.mu.Lock()
+	devs := make([]*device.Device, 0, len(m.cluster.devices))
+	for _, d := range m.cluster.devices {
+		devs = append(devs, d)
+	}
+	m.cluster.mu.Unlock()
+	for _, d := range devs {
+		if s, ok := d.BreakerStates()[service]; ok && rank(s) > rank(worst) {
+			worst = s
+		}
+	}
+	return worst
 }
 
 // TelemetryTopic is the pub/sub topic reports are broadcast under.

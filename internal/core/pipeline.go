@@ -22,18 +22,23 @@ type Pipeline struct {
 	name    string
 	cfg     PipelineConfig
 	cluster *Cluster
-	plan    Plan
 	planner string
+	// plannerImpl is kept so the supervisor can re-plan after a device
+	// failure with the same strategy the pipeline launched with.
+	plannerImpl Planner
 
-	modules map[string]*device.Module // raw module name -> instance
 	source  *frame.Source
-	entry   *device.Module
-
 	credits chan struct{}
 
-	mu      sync.Mutex
-	closed  bool
-	running bool
+	// mu guards the fields below: placement and module instances become
+	// mutable once live migration exists.
+	mu        sync.Mutex
+	plan      Plan
+	modules   map[string]*device.Module // raw module name -> instance
+	entry     *device.Module
+	closed    bool
+	running   bool
+	migrating bool
 }
 
 // Launch validates, plans and deploys a pipeline onto the cluster. Module
@@ -75,13 +80,14 @@ func (c *Cluster) Launch(cfg PipelineConfig, planner Planner) (*Pipeline, error)
 	}
 
 	p := &Pipeline{
-		name:    cfg.Name,
-		cfg:     cfg,
-		cluster: c,
-		plan:    plan,
-		planner: planner.Name(),
-		modules: make(map[string]*device.Module, len(cfg.Modules)),
-		credits: make(chan struct{}, plan.Credits),
+		name:        cfg.Name,
+		cfg:         cfg,
+		cluster:     c,
+		plan:        plan,
+		planner:     planner.Name(),
+		plannerImpl: planner,
+		modules:     make(map[string]*device.Module, len(cfg.Modules)),
+		credits:     make(chan struct{}, plan.Credits),
 	}
 
 	// Spawn sinks-first (reverse topological order) so every edge's
@@ -195,6 +201,8 @@ func (p *Pipeline) PlannerName() string { return p.planner }
 
 // Placement reports the module-to-device assignment.
 func (p *Pipeline) Placement() map[string]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make(map[string]string, len(p.plan.Placement))
 	for k, v := range p.plan.Placement {
 		out[k] = v
@@ -310,7 +318,10 @@ func (p *Pipeline) emit(f *frame.Frame) bool {
 		"captured_ms": float64(f.Captured.UnixNano()) / 1e6,
 		"seq":         float64(f.Seq),
 	}
-	ok, err := p.entry.TryInject(body, f)
+	p.mu.Lock()
+	entry := p.entry
+	p.mu.Unlock()
+	ok, err := entry.TryInject(body, f)
 	if err != nil || !ok {
 		p.returnCredit()
 		return false
@@ -354,6 +365,8 @@ func (p *Pipeline) collect(elapsed time.Duration) RunResult {
 
 // Modules lists the deployed module names (unprefixed).
 func (p *Pipeline) Modules() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]string, 0, len(p.modules))
 	for name := range p.modules {
 		out = append(out, name)
@@ -364,6 +377,8 @@ func (p *Pipeline) Modules() []string {
 
 // Module returns a deployed module instance by its config name.
 func (p *Pipeline) Module(name string) (*device.Module, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	m, ok := p.modules[name]
 	return m, ok
 }
@@ -372,14 +387,170 @@ func (p *Pipeline) Module(name string) (*device.Module, bool) {
 // redeployment, paper §7). Placement, routing and flow control are
 // untouched; the module's encapsulated state restarts fresh.
 func (p *Pipeline) UpdateModule(name, source string) error {
-	m, ok := p.modules[name]
+	m, ok := p.Module(name)
 	if !ok {
 		return fmt.Errorf("core: pipeline %q has no module %q", p.name, name)
 	}
 	return m.UpdateSource(source)
 }
 
-// Close tears the pipeline's modules down.
+// MigrateModule moves a running module to another device — the live-
+// migration half of self-healing. The old instance is quiesced (parked
+// events drain, their flow-control credits return to the source), its
+// PipeScript global state is snapshotted, and a fresh instance spawns on
+// the target with that state restored before its first event. Upstream
+// modules' routes are repointed in place; no other module restarts.
+func (p *Pipeline) MigrateModule(name, target string) error {
+	mc, ok := p.cfg.Module(name)
+	if !ok {
+		return fmt.Errorf("core: pipeline %q has no module %q", p.name, name)
+	}
+	d, ok := p.cluster.Device(target)
+	if !ok {
+		return fmt.Errorf("core: migrate %q: unknown device %q", name, target)
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("core: pipeline %q is closed", p.name)
+	}
+	if p.migrating {
+		p.mu.Unlock()
+		return fmt.Errorf("core: pipeline %q already has a migration in flight", p.name)
+	}
+	p.migrating = true
+	old := p.modules[name]
+	oldDev := p.plan.Placement[name]
+	// Resolve the new instance's outgoing routes against current
+	// placement while we hold the lock.
+	var routes []device.Route
+	for _, next := range mc.Next {
+		dst := p.modules[next]
+		route := device.Route{Module: p.prefixed(next), Label: next}
+		if p.plan.Placement[next] != target {
+			route.Address = dst.Addr().String()
+		}
+		routes = append(routes, route)
+	}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.migrating = false
+		p.mu.Unlock()
+	}()
+
+	// Quiesce: after Close returns the event loop is gone, parked events
+	// have handed their credits back, and the script context is ours to
+	// snapshot.
+	oldAddr := old.Addr().String()
+	old.Close()
+	snap := old.SnapshotState()
+
+	newM, err := d.SpawnModule(device.ModuleSpec{
+		Name:         p.prefixed(name),
+		Source:       mc.Source,
+		Services:     mc.Services,
+		Next:         routes,
+		MetricPrefix: p.name,
+		Restore:      snap,
+	})
+	if err != nil {
+		return fmt.Errorf("core: migrating %q to %q: %w", name, target, err)
+	}
+	newM.SetFrameDone(p.returnCredit)
+	newM.SetFrameAbandoned(p.returnCredit)
+
+	// Commit — unless the pipeline closed while we were spawning, in
+	// which case the replacement must die here or its goroutines leak.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		newM.Close()
+		d.DropModule(p.prefixed(name))
+		return fmt.Errorf("core: pipeline %q closed during migration of %q", p.name, name)
+	}
+	p.modules[name] = newM
+	p.plan.Placement[name] = target
+	if p.cfg.Source.FirstModule == name {
+		p.entry = newM
+	}
+	// Repoint every predecessor's edge at the new instance.
+	type repoint struct {
+		m *device.Module
+		r device.Route
+	}
+	var repoints []repoint
+	for i := range p.cfg.Modules {
+		pred := &p.cfg.Modules[i]
+		for _, next := range pred.Next {
+			if next != name {
+				continue
+			}
+			route := device.Route{Module: p.prefixed(name), Label: name}
+			if p.plan.Placement[pred.Name] != target {
+				route.Address = newM.Addr().String()
+			}
+			repoints = append(repoints, repoint{m: p.modules[pred.Name], r: route})
+		}
+	}
+	p.mu.Unlock()
+
+	for _, rp := range repoints {
+		rp.m.UpdateRoute(name, rp.r)
+		// A predecessor mid-Send to the dead instance would otherwise spin
+		// in the push's reconnect loop until its deadline, holding a frame
+		// credit (and its whole event loop) hostage the entire time.
+		rp.m.AbortPush(oldAddr)
+	}
+	// The dead device must not re-close the migrated-away instance (it
+	// already is closed) nor hold the name.
+	if od, ok := p.cluster.Device(oldDev); ok && oldDev != target {
+		od.DropModule(p.prefixed(name))
+	}
+	p.cluster.Metrics().Meter("pipeline." + p.name + ".recoveries").Mark()
+	return nil
+}
+
+// FailOver migrates every module this pipeline had on a dead device,
+// re-running the launch planner over the surviving devices (the caller
+// marks the device down first, which removes it from DeviceNames and so
+// from the new plan). It returns the migrated module names in order.
+func (p *Pipeline) FailOver(dead string) ([]string, error) {
+	p.mu.Lock()
+	var orphans []string
+	for name, devName := range p.plan.Placement {
+		if devName == dead {
+			orphans = append(orphans, name)
+		}
+	}
+	p.mu.Unlock()
+	if len(orphans) == 0 {
+		return nil, nil
+	}
+	sort.Strings(orphans)
+
+	plan, err := p.plannerImpl.Plan(&p.cfg, p.cluster)
+	if err != nil {
+		return nil, fmt.Errorf("core: re-planning %q after %s died: %w", p.name, dead, err)
+	}
+	var migrated []string
+	for _, name := range orphans {
+		target := plan.Placement[name]
+		if target == "" || target == dead {
+			return migrated, fmt.Errorf("core: re-plan left %q on dead device %q", name, dead)
+		}
+		if err := p.MigrateModule(name, target); err != nil {
+			return migrated, err
+		}
+		migrated = append(migrated, name)
+	}
+	return migrated, nil
+}
+
+// Close tears the pipeline's modules down. Safe against a concurrent
+// migration: the migration's commit step sees closed and tears its fresh
+// module down instead of publishing it.
 func (p *Pipeline) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -387,8 +558,12 @@ func (p *Pipeline) Close() {
 		return
 	}
 	p.closed = true
-	p.mu.Unlock()
+	mods := make([]*device.Module, 0, len(p.modules))
 	for _, m := range p.modules {
+		mods = append(mods, m)
+	}
+	p.mu.Unlock()
+	for _, m := range mods {
 		m.Close()
 	}
 }

@@ -1,0 +1,287 @@
+package core_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"videopipe/internal/apps"
+	"videopipe/internal/core"
+	"videopipe/internal/services"
+)
+
+// startSupervisor runs a supervisor in the background and returns it plus
+// a stop function that blocks until the control loop has fully exited —
+// required before closing the cluster, since an in-flight step may still
+// be probing or migrating.
+func startSupervisor(t *testing.T, c *core.Cluster, cfg core.SupervisorConfig) (*core.Supervisor, func()) {
+	t.Helper()
+	sup := core.NewSupervisor(c, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sup.Run(ctx)
+	}()
+	var stopped bool
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		<-done
+	}
+	t.Cleanup(stop)
+	return sup, stop
+}
+
+// TestSupervisorRestartsKilledPool kills the pose pool mid-run and leaves
+// recovery entirely to the supervisor: the pool comes back at its old
+// size, frames flow again, and the journal records exactly one restart.
+func TestSupervisorRestartsKilledPool(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.FitnessConfig("supfit", 15, "squat"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	sup, stop := startSupervisor(t, c, core.SupervisorConfig{
+		Interval:       50 * time.Millisecond,
+		RestartBackoff: 50 * time.Millisecond,
+	})
+
+	reg := c.Metrics()
+	delivered := func() uint64 {
+		return reg.Meter("pipeline.supfit.display.frames_done").Count()
+	}
+	go func() {
+		if _, err := p.Run(context.Background(), 6*time.Second); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	}()
+	waitCond(t, 3*time.Second, func() bool { return delivered() >= 3 })
+
+	pool, err := c.Pool(services.PoseDetector)
+	if err != nil {
+		t.Fatalf("Pool: %v", err)
+	}
+	prev := pool.Size()
+	pool.Kill(prev)
+
+	// No manual repair: the supervisor must notice and restore the pool.
+	waitCond(t, 3*time.Second, func() bool { return pool.Size() == prev })
+	at := delivered()
+	waitCond(t, 3*time.Second, func() bool { return delivered() >= at+3 })
+
+	stop()
+	journal := sup.JournalStrings()
+	want := []string{"restart_service " + services.PoseDetector}
+	if len(journal) != 1 || journal[0] != want[0] {
+		t.Errorf("journal = %v, want %v", journal, want)
+	}
+	if got := reg.Meter("supervisor.restarts." + services.PoseDetector).Count(); got != 1 {
+		t.Errorf("restart meter = %d, want 1", got)
+	}
+}
+
+// TestSupervisorRestartBudget exhausts the restart budget: with
+// MaxRestarts=1 and a pool that is killed again right after its restart,
+// the supervisor spends its single restart and then stops intervening.
+func TestSupervisorRestartBudget(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.FitnessConfig("budfit", 15, "squat"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	sup, stop := startSupervisor(t, c, core.SupervisorConfig{
+		Interval:       50 * time.Millisecond,
+		RestartBackoff: 50 * time.Millisecond,
+		MaxRestarts:    1,
+		HealthyAfter:   time.Hour, // never refill within the test
+	})
+
+	go func() {
+		if _, err := p.Run(context.Background(), 5*time.Second); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	}()
+	reg := c.Metrics()
+	waitCond(t, 3*time.Second, func() bool {
+		return reg.Meter("pipeline.budfit.display.frames_done").Count() >= 3
+	})
+
+	pool, err := c.Pool(services.PoseDetector)
+	if err != nil {
+		t.Fatalf("Pool: %v", err)
+	}
+	pool.Kill(pool.Size())
+	waitCond(t, 3*time.Second, func() bool { return pool.Size() > 0 })
+
+	// Kill it again: the budget is spent, so the pool must stay down.
+	pool.Kill(pool.Size())
+	time.Sleep(time.Second)
+	if pool.Size() != 0 {
+		t.Errorf("pool restarted beyond its budget (size=%d)", pool.Size())
+	}
+	stop()
+	if journal := sup.JournalStrings(); len(journal) != 1 {
+		t.Errorf("journal = %v, want exactly one restart", journal)
+	}
+}
+
+// TestSupervisorDeviceFailover crashes the TV mid-run: the supervisor
+// declares it dead after missed probes, moves the display service to the
+// desktop, live-migrates the display module, and the pipeline keeps
+// delivering frames — with no recovery code in the test.
+func TestSupervisorDeviceFailover(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.FitnessConfig("failfit", 15, "squat"), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	// ProbeTimeout stays generous: detection of the crash does not depend
+	// on it (a crashed device never answers at all), while healthy probes
+	// must not miss under race-detector slowdown.
+	sup, stop := startSupervisor(t, c, core.SupervisorConfig{
+		Interval:     50 * time.Millisecond,
+		ProbeTimeout: 250 * time.Millisecond,
+		DeadAfter:    4,
+	})
+
+	reg := c.Metrics()
+	delivered := func() uint64 {
+		return reg.Meter("pipeline.failfit.display.frames_done").Count()
+	}
+	go func() {
+		if _, err := p.Run(context.Background(), 8*time.Second); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	}()
+	waitCond(t, 3*time.Second, func() bool { return delivered() >= 3 })
+
+	// Crash the TV: permanently hung and off the LAN for its peers.
+	tv, _ := c.Device("tv")
+	tv.Crash()
+	c.Network().Partition("phone", "tv")
+	c.Network().Partition("desktop", "tv")
+
+	waitCond(t, 4*time.Second, func() bool { return len(sup.Journal()) >= 3 })
+	at := delivered()
+	waitCond(t, 4*time.Second, func() bool { return delivered() >= at+3 })
+	stop()
+
+	want := []string{
+		"device_dead tv",
+		"redeploy_service " + services.Display + " tv->desktop",
+		"migrate_module failfit.display tv->desktop",
+	}
+	journal := sup.JournalStrings()
+	if len(journal) != len(want) {
+		t.Fatalf("journal = %v, want %v", journal, want)
+	}
+	for i := range want {
+		if journal[i] != want[i] {
+			t.Fatalf("journal = %v, want %v", journal, want)
+		}
+	}
+	if !c.IsDown("tv") {
+		t.Error("tv not marked down")
+	}
+	if got := p.Placement()["display"]; got != "desktop" {
+		t.Errorf("display placed on %q after failover, want desktop", got)
+	}
+	if host, _ := c.ServiceHost(services.Display); host != "desktop" {
+		t.Errorf("display service hosted on %q after failover, want desktop", host)
+	}
+	if got := reg.Meter("pipeline.failfit.recoveries").Count(); got != 1 {
+		t.Errorf("recoveries meter = %d, want 1", got)
+	}
+}
+
+// TestSupervisorShutdownLeavesNoGoroutines runs a full supervised cluster
+// lifecycle and verifies the goroutine count returns to baseline — the
+// supervisor's probes, monitors and any respawned modules must all stop.
+func TestSupervisorShutdownLeavesNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	c, err := core.NewCluster(apps.HomeClusterSpec(), fastRegistry(t))
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	p, err := c.Launch(apps.FitnessConfig("leakfit", 15, "squat"), core.CoLocatePlanner{})
+	if err != nil {
+		c.Close()
+		t.Fatalf("Launch: %v", err)
+	}
+	sup, stop := startSupervisor(t, c, core.SupervisorConfig{Interval: 50 * time.Millisecond})
+
+	if _, err := p.Run(context.Background(), time.Second); err != nil {
+		t.Errorf("Run: %v", err)
+	}
+	// Exercise a recovery so respawn machinery is part of the lifecycle.
+	pool, err := c.Pool(services.PoseDetector)
+	if err != nil {
+		t.Fatalf("Pool: %v", err)
+	}
+	pool.Kill(pool.Size())
+	waitCond(t, 3*time.Second, func() bool { return pool.Size() > 0 })
+	_ = sup
+
+	stop()
+	c.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: base=%d now=%d\n%s", base, runtime.NumGoroutine(), buf[:n])
+}
+
+// TestMigrateModuleCloseRace hammers Pipeline.Close against an in-flight
+// migration: whichever wins, no module instance may survive (leaked
+// goroutines) and nothing may double-close or panic.
+func TestMigrateModuleCloseRace(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		c, err := core.NewCluster(apps.HomeClusterSpec(), fastRegistry(t))
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		p, err := c.Launch(apps.FitnessConfig("racefit", 10, "squat"), core.CoLocatePlanner{})
+		if err != nil {
+			c.Close()
+			t.Fatalf("Launch: %v", err)
+		}
+		migrated := make(chan error, 1)
+		go func() { migrated <- p.MigrateModule("display", "desktop") }()
+		if i%2 == 1 {
+			time.Sleep(time.Duration(i) * 200 * time.Microsecond)
+		}
+		p.Close()
+		// Either outcome is legal; what matters is that a post-close
+		// migration did not publish a live module.
+		<-migrated
+		for _, mod := range p.Modules() {
+			if m, ok := p.Module(mod); ok && m != nil {
+				m.Close() // must be idempotent no-op after pipeline Close
+			}
+		}
+		c.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked after close/migrate race: base=%d now=%d\n%s", base, runtime.NumGoroutine(), buf[:n])
+}

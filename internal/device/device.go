@@ -122,6 +122,7 @@ type Device struct {
 	mu        sync.Mutex
 	pools     map[string]*services.Pool
 	server    *services.Server
+	health    *wire.Responder
 	remoteDir map[string]string // service name -> "host:port"
 	clients   map[string]*services.Client
 	modules   map[string]*Module
@@ -129,6 +130,19 @@ type Device struct {
 
 	pauseMu  sync.Mutex
 	resumeCh chan struct{} // non-nil while paused; closed by Resume
+	crashed  bool
+
+	// baseCtx parents every in-flight service call from this device's
+	// modules; Crash cancels it so calls blocked on a dead host's pools
+	// fail immediately instead of holding event loops until their 30 s
+	// deadlines (which would stall migration for the same span).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// breakerStates mirrors the per-service circuit states of this
+	// device's remote-service clients, for monitor reports.
+	breakerMu     sync.Mutex
+	breakerStates map[string]services.BreakerState
 }
 
 // New creates a device on the given transport. reg receives the device's
@@ -150,18 +164,22 @@ func New(cfg Config, t wire.Transport, reg *metrics.Registry) (*Device, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	return &Device{
-		name:      cfg.Name,
-		class:     cfg.Class,
-		profile:   profile,
-		transport: t,
-		store:     frame.NewStore(0),
-		codec:     paddedCodec{inner: frame.JPEGCodec{Quality: 85}, cpuFactor: profile.MediaFactor},
-		reg:       reg,
-		pools:     make(map[string]*services.Pool),
-		remoteDir: make(map[string]string),
-		clients:   make(map[string]*services.Client),
-		modules:   make(map[string]*Module),
+		name:          cfg.Name,
+		class:         cfg.Class,
+		profile:       profile,
+		transport:     t,
+		store:         frame.NewStore(0),
+		codec:         paddedCodec{inner: frame.JPEGCodec{Quality: 85}, cpuFactor: profile.MediaFactor},
+		reg:           reg,
+		pools:         make(map[string]*services.Pool),
+		remoteDir:     make(map[string]string),
+		clients:       make(map[string]*services.Client),
+		modules:       make(map[string]*Module),
+		baseCtx:       baseCtx,
+		baseCancel:    baseCancel,
+		breakerStates: make(map[string]services.BreakerState),
 	}, nil
 }
 
@@ -225,12 +243,22 @@ func (d *Device) Pool(name string) (*services.Pool, bool) {
 }
 
 // ServeServices exposes this device's pools to remote callers at port
-// (0 = ephemeral) and returns the bound address.
+// (0 = ephemeral) and returns the bound address. Calling it again is
+// idempotent: pools deployed since the first call (the failover
+// redeployment path) join the existing server rather than leaking a
+// second listener.
 func (d *Device) ServeServices(port int) (net.Addr, error) {
 	d.mu.Lock()
 	pools := make(map[string]*services.Pool, len(d.pools))
 	for n, p := range d.pools {
 		pools[n] = p
+	}
+	if srv := d.server; srv != nil {
+		d.mu.Unlock()
+		for n, p := range pools {
+			srv.AddPool(n, p)
+		}
+		return srv.Addr(), nil
 	}
 	d.mu.Unlock()
 	srv, err := services.NewServer(d.transport, port, pools, d.codec)
@@ -238,9 +266,63 @@ func (d *Device) ServeServices(port int) (net.Addr, error) {
 		return nil, fmt.Errorf("device: %s: %w", d.name, err)
 	}
 	d.mu.Lock()
+	if d.server != nil {
+		// Lost a race with a concurrent ServeServices; keep the winner.
+		existing := d.server
+		d.mu.Unlock()
+		srv.Close()
+		for n, p := range pools {
+			existing.AddPool(n, p)
+		}
+		return existing.Addr(), nil
+	}
 	d.server = srv
 	d.mu.Unlock()
 	return srv.Addr(), nil
+}
+
+// ServeHealth binds the device's liveness-probe endpoint (idempotent) and
+// returns its address. Replies go through the pause gate, so a paused
+// (hung) or crashed device accepts the probe connection but never
+// answers — exactly how a wedged host looks from the outside.
+func (d *Device) ServeHealth() (net.Addr, error) {
+	d.mu.Lock()
+	if d.health != nil {
+		h := d.health
+		d.mu.Unlock()
+		return h.Addr(), nil
+	}
+	d.mu.Unlock()
+	resp, err := wire.ListenHealth(d.transport, 0, d.healthGate)
+	if err != nil {
+		return nil, fmt.Errorf("device: %s: health endpoint: %w", d.name, err)
+	}
+	d.mu.Lock()
+	if d.health != nil {
+		h := d.health
+		d.mu.Unlock()
+		resp.Close()
+		return h.Addr(), nil
+	}
+	d.health = resp
+	d.mu.Unlock()
+	return resp.Addr(), nil
+}
+
+// healthGate blocks health replies while the device is paused or crashed,
+// mirroring the module event loops' pause behaviour.
+func (d *Device) healthGate(ctx context.Context) error {
+	for {
+		ch := d.pauseGate()
+		if ch == nil {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // RegisterRemoteService tells this device where to reach a service it does
@@ -262,8 +344,13 @@ func (d *Device) CallService(ctx context.Context, name string, args map[string]a
 		where = "remote"
 	}
 	d.reg.Histogram("service." + name + "." + where).Observe(time.Since(start))
-	if err != nil && errors.Is(err, context.DeadlineExceeded) {
-		d.reg.Meter("rpc.timeouts").Mark()
+	if err != nil {
+		// The supervisor watches this meter's rate for error bursts that
+		// call for a service restart.
+		d.reg.Meter("service." + name + ".errors").Mark()
+		if errors.Is(err, context.DeadlineExceeded) {
+			d.reg.Meter("rpc.timeouts").Mark()
+		}
 	}
 	return resp, err
 }
@@ -283,6 +370,12 @@ func (d *Device) callService(ctx context.Context, name string, args map[string]a
 	client, ok := d.clients[addr]
 	if !ok {
 		client = services.NewClient(d.transport, addr, d.codec)
+		client.SetBreakerNotify(func(service string, s services.BreakerState) {
+			d.breakerMu.Lock()
+			d.breakerStates[service] = s
+			d.breakerMu.Unlock()
+			d.reg.Meter("breaker." + service + "." + s.String()).Mark()
+		})
 		d.clients[addr] = client
 	}
 	d.mu.Unlock()
@@ -333,11 +426,49 @@ func (d *Device) Resume() {
 	}
 }
 
+// Crash marks the device permanently dead — the chaos engine's
+// device_crash hook. Unlike Pause there is no matching Resume in the
+// fault model: recovery means the supervisor migrating this device's
+// modules and services elsewhere. Cancelling baseCtx first makes every
+// in-flight service call from this device's modules fail immediately, so
+// their event loops park on the pause gate instead of blocking module
+// Close (and hence migration) until a 30 s call deadline.
+func (d *Device) Crash() {
+	d.pauseMu.Lock()
+	if d.crashed {
+		d.pauseMu.Unlock()
+		return
+	}
+	d.crashed = true
+	d.pauseMu.Unlock()
+	d.baseCancel()
+	d.Pause()
+}
+
+// Crashed reports whether the device has been declared dead via Crash.
+func (d *Device) Crashed() bool {
+	d.pauseMu.Lock()
+	defer d.pauseMu.Unlock()
+	return d.crashed
+}
+
 // Paused reports whether the device is currently frozen.
 func (d *Device) Paused() bool {
 	d.pauseMu.Lock()
 	defer d.pauseMu.Unlock()
 	return d.resumeCh != nil
+}
+
+// BreakerStates snapshots the per-service circuit states observed by this
+// device's remote-service clients.
+func (d *Device) BreakerStates() map[string]services.BreakerState {
+	d.breakerMu.Lock()
+	defer d.breakerMu.Unlock()
+	out := make(map[string]services.BreakerState, len(d.breakerStates))
+	for n, s := range d.breakerStates {
+		out[n] = s
+	}
+	return out
 }
 
 // pauseGate returns the channel module event loops wait on while the
@@ -373,6 +504,7 @@ func (d *Device) Close() error {
 		mods = append(mods, m)
 	}
 	server := d.server
+	health := d.health
 	clients := make([]*services.Client, 0, len(d.clients))
 	for _, c := range d.clients {
 		clients = append(clients, c)
@@ -382,13 +514,28 @@ func (d *Device) Close() error {
 	for _, m := range mods {
 		m.Close()
 	}
+	// Modules are down; cancel the service-call context purely as cleanup.
+	d.baseCancel()
 	if server != nil {
 		server.Close()
+	}
+	if health != nil {
+		health.Close()
 	}
 	for _, c := range clients {
 		c.Close()
 	}
 	return nil
+}
+
+// DropModule forgets a module without closing it — the migration path:
+// the module has already been closed explicitly and its replacement lives
+// on another device, so this (possibly dead) device must not re-close it
+// during teardown.
+func (d *Device) DropModule(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.modules, name)
 }
 
 // ParseClass parses a device class name from a configuration file.

@@ -82,7 +82,10 @@ func (m *Module) hostCallService(args []script.Value) (script.Value, error) {
 		delete(callArgs, "frame_ref")
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), serviceCallTimeout)
+	// Derived from the device's base context so that Crash cancels the
+	// call immediately instead of holding this event loop for the full
+	// timeout (which would stall migration for the same span).
+	ctx, cancel := context.WithTimeout(m.dev.baseCtx, serviceCallTimeout)
 	defer cancel()
 	resp, err := m.dev.CallService(ctx, name, callArgs, reqFrame)
 	if err != nil {
@@ -113,7 +116,9 @@ func (m *Module) hostCallModule(args []script.Value) (script.Value, error) {
 		return nil, err
 	}
 	target := args[0].(string)
+	m.routeMu.RLock()
 	route, ok := m.routes[target]
+	m.routeMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("call_module: module %q has no edge to %q", m.spec.Name, target)
 	}

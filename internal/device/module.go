@@ -48,6 +48,10 @@ type ModuleSpec struct {
 	// MetricPrefix namespaces metric() observations (set to the pipeline
 	// name by the core runtime so concurrent pipelines don't mix).
 	MetricPrefix string
+	// Restore, when non-nil, is applied to the module's script context
+	// after init() runs and before the first event — the live-migration
+	// path carries the predecessor's global state here.
+	Restore *script.Snapshot
 }
 
 // event is one unit of work for a module: a message body plus an optional
@@ -72,6 +76,7 @@ type Module struct {
 	wg     sync.WaitGroup
 
 	allowed map[string]bool
+	routeMu sync.RWMutex
 	routes  map[string]Route
 	pushMu  sync.Mutex
 	pushes  map[string]*wire.Push
@@ -172,6 +177,36 @@ func (m *Module) Name() string { return m.spec.Name }
 // Addr reports the module's inbound endpoint address.
 func (m *Module) Addr() net.Addr { return m.pull.Addr() }
 
+// UpdateRoute repoints one outgoing edge — how predecessors of a migrated
+// module learn its new address without respawning.
+func (m *Module) UpdateRoute(label string, r Route) {
+	m.routeMu.Lock()
+	defer m.routeMu.Unlock()
+	m.routes[label] = r
+}
+
+// AbortPush tears down this module's outbound connection to address, if
+// any. An in-flight Send to it fails on its next retry instead of
+// spinning until its deadline — migration uses this to unwedge
+// predecessors still pushing to a dead device, releasing the frame
+// credits their blocked events hold.
+func (m *Module) AbortPush(address string) {
+	m.pushMu.Lock()
+	p, ok := m.pushes[address]
+	if ok {
+		delete(m.pushes, address)
+	}
+	m.pushMu.Unlock()
+	if ok {
+		p.Close()
+	}
+}
+
+// SnapshotState captures the module's PipeScript global state for
+// migration. Only call after Close has returned: while the module runs,
+// the event-loop goroutine owns the script context.
+func (m *Module) SnapshotState() *script.Snapshot { return m.ctx.Snapshot() }
+
 // SetFrameDone installs the flow-control callback fired by frame_done().
 func (m *Module) SetFrameDone(fn func()) { m.onFrameDone = fn }
 
@@ -255,10 +290,21 @@ func (m *Module) receiveLoop() {
 		case m.events <- ev:
 		case <-m.done:
 			if ev.frameID != 0 {
-				m.dev.store.Release(ev.frameID)
+				m.abandonFrame(ev.frameID)
 			}
 			return
 		}
+	}
+}
+
+// abandonFrame releases a frame reference whose event will never reach
+// frame_done() and hands its flow-control credit back to the source —
+// the close/drain counterpart of the error path in handleEvent.
+func (m *Module) abandonFrame(id uint64) {
+	m.dev.store.Release(id)
+	if m.onFrameAbandoned != nil {
+		m.dev.reg.Meter("module." + m.spec.Name + ".abandoned").Mark()
+		m.onFrameAbandoned()
 	}
 }
 
@@ -293,6 +339,11 @@ func (m *Module) eventLoop() {
 			m.loadErr = err
 			m.dev.reg.Meter("module." + m.spec.Name + ".errors").Mark()
 		}
+	}
+	if m.spec.Restore != nil {
+		// Migration: overlay the predecessor's global state on top of
+		// whatever init() just set up.
+		m.ctx.Restore(m.spec.Restore)
 	}
 	for {
 		select {
@@ -356,7 +407,7 @@ func (m *Module) handleEvent(ev event) {
 		case <-ch:
 		case <-m.done:
 			if ev.frameID != 0 {
-				m.dev.store.Release(ev.frameID)
+				m.abandonFrame(ev.frameID)
 			}
 			return
 		}
@@ -418,12 +469,12 @@ func (m *Module) Close() {
 		m.pushMu.Unlock()
 		m.wg.Wait()
 		// Drain any event parked in the channel so its frame ref is not
-		// leaked in the store.
+		// leaked in the store and its credit flows back to the source.
 		for {
 			select {
 			case ev := <-m.events:
 				if ev.frameID != 0 {
-					m.dev.store.Release(ev.frameID)
+					m.abandonFrame(ev.frameID)
 				}
 			default:
 				return

@@ -74,6 +74,19 @@ func DefaultChaosScenarios() []ChaosScenario {
 	}
 }
 
+// SupervisedChaosScenarios are the supervised resilience stories: the
+// default three plus a permanent TV crash — a fault only the supervisor
+// can recover from, by re-planning the display service and live-migrating
+// the display module onto a surviving device.
+func SupervisedChaosScenarios() []ChaosScenario {
+	return append(DefaultChaosScenarios(), ChaosScenario{
+		Name: "device_crash",
+		Schedule: chaos.Schedule{
+			{At: 400 * time.Millisecond, Kind: chaos.KindDeviceCrash, Target: "tv", Duration: 600 * time.Millisecond},
+		},
+	})
+}
+
 // ChaosRow is one scenario's outcome.
 type ChaosRow struct {
 	Scenario string
@@ -95,6 +108,9 @@ type ChaosRow struct {
 	// DegradedSeconds is the monitor-observed degraded time during the
 	// fault run.
 	DegradedSeconds float64
+	// Journal is the supervisor's recovery-action log (supervised runs
+	// only); seed-deterministic across same-seed runs.
+	Journal []string
 }
 
 // Chaos runs every scenario: a clean pre-fault window, a fault window
@@ -141,6 +157,30 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 		if gest, err = cluster.Launch(apps.GestureConfig(name+"_gest", fps, "clap"), core.CoLocatePlanner{}); err != nil {
 			return ChaosRow{}, err
 		}
+	}
+
+	// Supervised runs start the self-healing control loop before any
+	// window is measured, and must stop it (blocking until the loop fully
+	// exits) before the deferred cluster.Close — an in-flight step may
+	// still be probing or migrating.
+	var sup *core.Supervisor
+	supStop := func() {}
+	if o.Supervise {
+		sup = core.NewSupervisor(cluster, core.SupervisorConfig{Seed: seed})
+		supCtx, supCancel := context.WithCancel(context.Background())
+		supDone := make(chan struct{})
+		go func() {
+			defer close(supDone)
+			sup.Run(supCtx)
+		}()
+		var supOnce sync.Once
+		supStop = func() {
+			supOnce.Do(func() {
+				supCancel()
+				<-supDone
+			})
+		}
+		defer supStop()
 	}
 
 	// run executes one measurement window across the launched pipelines
@@ -244,6 +284,7 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 		}
 	}()
 	inj := chaos.NewInjector(cluster)
+	inj.ExternalRepair = o.Supervise
 	go func() {
 		defer aux.Done()
 		inj.Run(samplerCtx, schedule)
@@ -272,6 +313,12 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 		return ChaosRow{}, err
 	}
 	row.Recovery = recoveryTime(samples, healedAt, row.PreFPS)
+	if sup != nil {
+		// Stop the control loop before reading the journal so no action
+		// lands after collection.
+		supStop()
+		row.Journal = sup.JournalStrings()
+	}
 	return row, nil
 }
 
@@ -329,6 +376,9 @@ func FormatChaos(rows []ChaosRow, seed int64) string {
 		}
 		fmt.Fprintf(&b, "%-16s %8.2f %8.2f %8.2f %10s %9.1fs %7d\n",
 			r.Scenario, r.PreFPS, r.DuringFPS, r.PostFPS, rec, r.DegradedSeconds, len(r.Applied))
+		for _, act := range r.Journal {
+			fmt.Fprintf(&b, "  heal: %s\n", act)
+		}
 	}
 	return b.String()
 }

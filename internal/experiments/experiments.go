@@ -34,6 +34,12 @@ type Options struct {
 	// Scene is the exercise the synthetic subject performs; empty selects
 	// squat.
 	Scene string
+	// Supervise runs chaos scenarios under the self-healing supervisor:
+	// the injector stops repairing killed pools itself (the supervisor
+	// restarts them), and each ChaosRow carries the supervisor's recovery
+	// journal. Required for scenarios with unrecoverable faults such as
+	// device_crash.
+	Supervise bool
 }
 
 func (o Options) duration() time.Duration {

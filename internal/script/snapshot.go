@@ -1,0 +1,94 @@
+package script
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a detached copy of a Context's mutable, data-valued globals —
+// the serializable part of a module's encapsulated state. It backs live
+// module migration: the supervisor snapshots a quiesced module's context on
+// the failing device and restores it into the freshly spawned replacement,
+// so counters, buffers and thresholds survive the move.
+//
+// Only data survives: nil, booleans, numbers, strings, arrays and objects
+// (captured deeply, in their Go form). Functions — script closures and host
+// bindings alike — are intentionally skipped; the destination context
+// re-creates them by loading the module source, which keeps snapshots free
+// of environment references that cannot cross devices. Constants are also
+// skipped: they are immutable, so reloading the source restores them
+// exactly.
+type Snapshot struct {
+	vars []savedVar
+}
+
+// savedVar is one captured global in ToGo form (nil, bool, float64,
+// string, []any or map[string]any).
+type savedVar struct {
+	name string
+	data any
+}
+
+// Snapshot captures the context's current data-valued globals. The
+// receiver must be quiescent — a Context is not safe for concurrent use,
+// so the module runtime only snapshots after the event loop has stopped.
+func (c *Context) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for name, b := range c.globals.vars {
+		if b.constant {
+			continue
+		}
+		switch b.value.(type) {
+		case nil, bool, float64, string, *Array, *Object:
+			s.vars = append(s.vars, savedVar{name: name, data: ToGo(b.value)})
+		}
+	}
+	sort.Slice(s.vars, func(i, j int) bool { return s.vars[i].name < s.vars[j].name })
+	return s
+}
+
+// Restore applies a snapshot to this context: existing mutable globals are
+// overwritten in place (so closures that captured them observe the new
+// values) and globals absent from the context are defined. Constants and
+// function-valued bindings in the destination are left untouched. A nil
+// snapshot is a no-op.
+func (c *Context) Restore(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	for _, v := range s.vars {
+		if b, ok := c.globals.vars[v.name]; ok {
+			if b.constant {
+				continue
+			}
+			switch b.value.(type) {
+			case nil, bool, float64, string, *Array, *Object:
+				b.value = FromGo(v.data)
+			}
+		} else {
+			c.globals.define(v.name, FromGo(v.data), false)
+		}
+	}
+}
+
+// Len reports how many globals the snapshot captured.
+func (s *Snapshot) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.vars)
+}
+
+// String renders the snapshot in a canonical name-sorted form — the value
+// round-trip tests compare, and a stable fingerprint of module state.
+func (s *Snapshot) String() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range s.vars {
+		fmt.Fprintf(&b, "%s=%s\n", v.name, Stringify(FromGo(v.data)))
+	}
+	return b.String()
+}

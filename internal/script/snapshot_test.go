@@ -1,0 +1,162 @@
+package script_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"videopipe/internal/apps"
+	"videopipe/internal/script"
+)
+
+// stubHostAPI binds no-op versions of the Table-1 module interface so
+// example-app module sources load and run outside a device.
+func stubHostAPI(c *script.Context) {
+	noop := func([]script.Value) (script.Value, error) { return nil, nil }
+	c.Bind("call_service", func([]script.Value) (script.Value, error) {
+		return script.FromGo(map[string]any{}), nil
+	})
+	c.Bind("call_module", noop)
+	c.Bind("log", noop)
+	c.Bind("now_ms", func([]script.Value) (script.Value, error) { return float64(0), nil })
+	c.Bind("frame_done", noop)
+	c.Bind("device_name", func([]script.Value) (script.Value, error) { return "test", nil })
+	c.Bind("metric", noop)
+}
+
+const statefulSource = `
+var count = 0;
+var history = [];
+var config = {threshold: 0.5, label: "reps"};
+const UNIT = "ms";
+
+function bump(v) {
+	count = count + 1;
+	history[history.length] = v;
+	config.last = v;
+	return count;
+}
+`
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := script.NewContext()
+	if err := a.Load(statefulSource); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := a.Call("bump", float64(i*10)); err != nil {
+			t.Fatalf("bump: %v", err)
+		}
+	}
+	snap := a.Snapshot()
+
+	b := script.NewContext()
+	if err := b.Load(statefulSource); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	b.Restore(snap)
+
+	// The restored context's state fingerprint matches the original's.
+	if got, want := b.Snapshot().String(), snap.String(); got != want {
+		t.Errorf("restored snapshot differs:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// And behaviour continues from the migrated state, not from zero.
+	v, err := b.Call("bump", float64(40))
+	if err != nil {
+		t.Fatalf("bump after restore: %v", err)
+	}
+	if v != float64(4) {
+		t.Errorf("bump after restore = %v, want 4 (state should carry over)", v)
+	}
+}
+
+// TestSnapshotGolden pins the canonical rendering so the fingerprint stays
+// stable across refactors — migration journals depend on it being
+// deterministic.
+func TestSnapshotGolden(t *testing.T) {
+	c := script.NewContext()
+	if err := c.Load(statefulSource); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := c.Call("bump", float64(7)); err != nil {
+		t.Fatalf("bump: %v", err)
+	}
+	const want = "config={label: reps, last: 7, threshold: 0.5}\ncount=1\nhistory=[7]\n"
+	if got := c.Snapshot().String(); got != want {
+		t.Errorf("snapshot string = %q, want %q", got, want)
+	}
+}
+
+func TestSnapshotSkipsFunctionsAndConstants(t *testing.T) {
+	c := script.NewContext()
+	if err := c.Load(statefulSource); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	s := c.Snapshot().String()
+	if strings.Contains(s, "bump") {
+		t.Errorf("snapshot captured a function: %q", s)
+	}
+	if strings.Contains(s, "UNIT") {
+		t.Errorf("snapshot captured a constant: %q", s)
+	}
+	// Host bindings (log, call_service, ...) are functions too.
+	if strings.Contains(s, "call_service") || strings.Contains(s, "log=") {
+		t.Errorf("snapshot captured host bindings: %q", s)
+	}
+}
+
+func TestSnapshotRestoreNilIsNoop(t *testing.T) {
+	c := script.NewContext()
+	if err := c.Load("var x = 1;"); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	before := c.Snapshot().String()
+	c.Restore(nil)
+	if got := c.Snapshot().String(); got != before {
+		t.Errorf("Restore(nil) changed state: %q -> %q", before, got)
+	}
+}
+
+// TestSnapshotExampleAppModules round-trips the real example applications'
+// module state: each module source is loaded, init() runs, and the
+// resulting globals must survive snapshot -> fresh context -> restore with
+// an identical fingerprint. This is the exact path live migration takes.
+func TestSnapshotExampleAppModules(t *testing.T) {
+	type moduleSrc struct{ app, name, source string }
+	var mods []moduleSrc
+	fit := apps.FitnessConfig("snapfit", 10, "squat")
+	for _, m := range fit.Modules {
+		mods = append(mods, moduleSrc{"fitness", m.Name, m.Source})
+	}
+	gest := apps.GestureConfig("snapgest", 10, "clap")
+	for _, m := range gest.Modules {
+		mods = append(mods, moduleSrc{"gesture", m.Name, m.Source})
+	}
+
+	for _, m := range mods {
+		m := m
+		t.Run(fmt.Sprintf("%s/%s", m.app, m.name), func(t *testing.T) {
+			orig := script.NewContext()
+			stubHostAPI(orig)
+			if err := orig.Load(m.source); err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if orig.Has("init") {
+				if _, err := orig.Call("init"); err != nil {
+					t.Fatalf("init: %v", err)
+				}
+			}
+			snap := orig.Snapshot()
+
+			fresh := script.NewContext()
+			stubHostAPI(fresh)
+			if err := fresh.Load(m.source); err != nil {
+				t.Fatalf("Load fresh: %v", err)
+			}
+			fresh.Restore(snap)
+			if got, want := fresh.Snapshot().String(), snap.String(); got != want {
+				t.Errorf("round-trip fingerprint differs:\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}

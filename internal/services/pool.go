@@ -266,6 +266,15 @@ func (p *Pool) Resume() {
 	}
 }
 
+// Paused reports whether the pool is currently gated. The supervisor uses
+// it to tell a hung host (don't restart — it will resume) from a dead pool
+// (restart now).
+func (p *Pool) Paused() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gate != nil
+}
+
 // Invoke dispatches a request to the least-loaded instance.
 func (p *Pool) Invoke(ctx context.Context, req Request) (Response, error) {
 	p.mu.Lock()

@@ -23,6 +23,7 @@ import (
 // Server exposes a set of service pools over the wire layer.
 type Server struct {
 	responder *wire.Responder
+	mu        sync.Mutex
 	pools     map[string]*Pool
 	codec     frame.Codec
 }
@@ -36,13 +37,26 @@ func NewServer(t wire.Transport, port int, pools map[string]*Pool, codec frame.C
 	if len(pools) == 0 {
 		return nil, fmt.Errorf("services: server needs at least one pool")
 	}
-	s := &Server{pools: pools, codec: codec}
+	owned := make(map[string]*Pool, len(pools))
+	for n, p := range pools {
+		owned[n] = p
+	}
+	s := &Server{pools: owned, codec: codec}
 	resp, err := wire.ListenResponder(t, port, s.handle)
 	if err != nil {
 		return nil, fmt.Errorf("services: server: %w", err)
 	}
 	s.responder = resp
 	return s, nil
+}
+
+// AddPool exposes another pool on a running server — the failover path:
+// when a service is redeployed onto a device whose server is already
+// bound, the new pool joins it instead of leaking a second listener.
+func (s *Server) AddPool(name string, p *Pool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pools[name] = p
 }
 
 // Addr reports the server's bound address.
@@ -56,7 +70,9 @@ func (s *Server) handle(ctx context.Context, m wire.Message) (wire.Message, erro
 		return wire.Message{}, fmt.Errorf("services: malformed request (%d parts)", m.Len())
 	}
 	name := m.StringPart(0)
+	s.mu.Lock()
 	pool, ok := s.pools[name]
+	s.mu.Unlock()
 	if !ok {
 		return wire.Message{}, fmt.Errorf("services: unknown service %q", name)
 	}
@@ -106,10 +122,18 @@ func (s *Server) handle(ctx context.Context, m wire.Message) (wire.Message, erro
 	return out, nil
 }
 
-// Client calls remote services over the wire layer.
+// Client calls remote services over the wire layer. Each service called
+// through the client gets its own circuit breaker: when a service fails
+// repeatedly (dead pool, partitioned host), the breaker opens and calls
+// shed immediately instead of burning the RPC retry budget per frame; a
+// half-open probe rediscovers the service once it heals.
 type Client struct {
 	caller *wire.Caller
 	codec  frame.Codec
+
+	breakerMu sync.Mutex
+	breakers  map[string]*Breaker
+	onState   func(service string, s BreakerState)
 }
 
 // NewClient creates a client for the service server at address.
@@ -117,7 +141,48 @@ func NewClient(t wire.Transport, address string, codec frame.Codec) *Client {
 	if codec == nil {
 		codec = frame.JPEGCodec{}
 	}
-	return &Client{caller: wire.DialCaller(t, address), codec: codec}
+	return &Client{
+		caller:   wire.DialCaller(t, address),
+		codec:    codec,
+		breakers: make(map[string]*Breaker),
+	}
+}
+
+// SetBreakerNotify installs a callback fired whenever any per-service
+// breaker changes state. It applies to breakers created after the call;
+// install it before the first Call.
+func (c *Client) SetBreakerNotify(fn func(service string, s BreakerState)) {
+	c.breakerMu.Lock()
+	defer c.breakerMu.Unlock()
+	c.onState = fn
+}
+
+// BreakerState reports the circuit state for a service; ok is false when
+// the service has never been called through this client.
+func (c *Client) BreakerState(service string) (BreakerState, bool) {
+	c.breakerMu.Lock()
+	defer c.breakerMu.Unlock()
+	b, ok := c.breakers[service]
+	if !ok {
+		return 0, false
+	}
+	return b.State(), true
+}
+
+// breaker returns (creating on first use) the circuit for a service.
+func (c *Client) breaker(service string) *Breaker {
+	c.breakerMu.Lock()
+	defer c.breakerMu.Unlock()
+	b, ok := c.breakers[service]
+	if !ok {
+		b = NewBreaker(0, 0)
+		if fn := c.onState; fn != nil {
+			svc := service
+			b.OnStateChange(func(s BreakerState) { fn(svc, s) })
+		}
+		c.breakers[service] = b
+	}
+	return b
 }
 
 // encBufPool recycles frame-encode buffers across Calls. A buffer is safe
@@ -128,8 +193,13 @@ var encBufPool sync.Pool
 // Call invokes a remote service, encoding the frame (if any) for transfer.
 // The input frame is borrowed — the caller keeps ownership.
 func (c *Client) Call(ctx context.Context, service string, args map[string]any, f *frame.Frame) (Response, error) {
+	br := c.breaker(service)
+	if !br.Allow() {
+		return Response{}, fmt.Errorf("services: %s: %w", service, ErrBreakerOpen)
+	}
 	argsJSON, err := json.Marshal(args)
 	if err != nil {
+		br.Cancel()
 		return Response{}, fmt.Errorf("services: marshal args: %w", err)
 	}
 	req := wire.NewMessage([]byte(service), argsJSON)
@@ -141,6 +211,7 @@ func (c *Client) Call(ctx context.Context, service string, args map[string]any, 
 		data, err := frame.AppendEncode(c.codec, scratch[:0], f)
 		if err != nil {
 			encBufPool.Put(scratch) //nolint:staticcheck // slice scratch, header alloc is noise
+			br.Cancel()
 			return Response{}, fmt.Errorf("services: encode frame: %w", err)
 		}
 		req.Parts = append(req.Parts, data)
@@ -148,6 +219,7 @@ func (c *Client) Call(ctx context.Context, service string, args map[string]any, 
 	}
 
 	out, err := c.caller.Call(ctx, req)
+	br.Record(err == nil)
 	if err != nil {
 		return Response{}, err
 	}
