@@ -2,21 +2,36 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check test race cover alloc bench chaos heal fuzz experiments examples clean
+.PHONY: all build vet meters lint check test race cover alloc bench chaos heal fuzz experiments examples clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
+# Go-host static analysis. Cheap pre-steps first (gofmt, go vet), then the
+# vpvet analyzer suite (framerelease, determinism, metername,
+# lockdiscipline — see DESIGN.md "Static enforcement") over every package.
+# Exits non-zero on any finding; each step names itself on failure so a
+# red `make check` points straight at the offending check.
 vet:
-	$(GO) vet ./...
+	@unformatted=$$(gofmt -l . 2>/dev/null); if [ -n "$$unformatted" ]; then \
+		echo "vet failed: gofmt (needs formatting):"; echo "$$unformatted"; exit 1; fi
+	@$(GO) vet ./... || { echo "vet failed: go vet"; exit 1; }
+	@$(GO) run ./cmd/vpvet ./... || { echo "vet failed: vpvet (findings above; suppress a false positive with //vpvet:allow <check> <reason>)"; exit 1; }
 
-# Static analysis: go vet over the Go code, pipevet over every example
-# pipeline config (module scripts + config cross-checks).
+# Regenerate the meter-name registry (internal/metrics/names.go) from
+# every statically-visible Meter/Histogram/benchEntry.set name. Run after
+# adding a metric; the metername analyzer and vpbench both check against
+# the generated file.
+meters:
+	$(GO) run ./cmd/vpvet -write-meters ./...
+
+# Static analysis: the Go-host suite above, then pipevet over every
+# example pipeline config (module scripts + config cross-checks).
 lint: vet
 	@set -e; for cfg in examples/configs/*.cfg; do \
-		$(GO) run ./cmd/videopipe -lint -config $$cfg; \
+		$(GO) run ./cmd/videopipe -lint -config $$cfg || { echo "lint failed: pipevet on $$cfg"; exit 1; }; \
 	done
 
 # The pre-PR gate: everything that must be green before a change ships.

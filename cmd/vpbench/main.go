@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"videopipe/internal/experiments"
+	"videopipe/internal/metrics"
 	"videopipe/internal/services"
 )
 
@@ -39,6 +40,14 @@ func main() {
 		supervise = flag.Bool("supervise", false, "run chaos under the self-healing supervisor (adds the device_crash scenario; the injector stops repairing pools itself)")
 	)
 	flag.Parse()
+
+	// Fail fast before any experiment runs: -out keys are validated
+	// against the generated meter registry at write time, so an empty or
+	// missing registry would only surface after minutes of benchmarking.
+	if *out != "" && len(metrics.MeterNamePatterns) == 0 {
+		fmt.Fprintln(os.Stderr, "vpbench: meter-name registry is empty; regenerate internal/metrics/names.go with `make meters`")
+		os.Exit(2)
+	}
 
 	if err := run(*exp, *dur, *scene, *seed, *out, *supervise); err != nil {
 		fmt.Fprintln(os.Stderr, "vpbench:", err)

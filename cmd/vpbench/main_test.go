@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -51,6 +52,39 @@ func TestRunWritesReport(t *testing.T) {
 		if _, ok := rep.Counters[key]; !ok {
 			t.Errorf("report missing counter %q", key)
 		}
+	}
+}
+
+// TestValidateKeys pins the registry gate on -out: a report carrying a
+// key outside the generated meter registry must refuse to write.
+func TestValidateKeys(t *testing.T) {
+	rep := &benchReport{}
+	good := &benchEntry{Name: "activity"}
+	good.set("accuracy", 0.9)
+	good.set("trials", 10)
+	rep.Experiments = append(rep.Experiments, good)
+	if err := rep.validateKeys(); err != nil {
+		t.Fatalf("registered keys rejected: %v", err)
+	}
+
+	bad := &benchEntry{Name: "rogue"}
+	bad.set("accurracy", 0.9) //vpvet:allow metername deliberate typo exercising the runtime gate
+	rep.Experiments = append(rep.Experiments, bad)
+	err := rep.validateKeys()
+	if err == nil {
+		t.Fatal("unregistered key accepted")
+	}
+	for _, want := range []string{"rogue", "accurracy"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if werr := rep.write(out); werr == nil {
+		t.Fatal("write succeeded with an unregistered key")
+	}
+	if _, serr := os.Stat(out); serr == nil {
+		t.Error("report file was written despite the validation failure")
 	}
 }
 

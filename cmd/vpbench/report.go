@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"videopipe/internal/frame"
+	"videopipe/internal/metrics"
 	"videopipe/internal/wire"
 )
 
@@ -32,6 +34,7 @@ func (e *benchEntry) set(key string, v float64) {
 
 // setDurationMS records a latency measurement in milliseconds.
 func (e *benchEntry) setDurationMS(key string, d time.Duration) {
+	//vpvet:allow metername pass-through; the literal key is checked at setDurationMS call sites
 	e.set(key, float64(d)/float64(time.Millisecond))
 }
 
@@ -66,8 +69,46 @@ func (r *benchReport) measure(name string, fn func(e *benchEntry) error) error {
 	return nil
 }
 
-// write snapshots the data-plane counters and writes the report to path.
+// validateKeys checks every experiment's metric keys against the
+// generated meter registry (internal/metrics/names.go). The metername
+// analyzer already proves the literal parts of each key at build time;
+// this is the runtime backstop for the dynamically-assembled ones, so the
+// -out JSON can never carry a name the rest of the system (tests, the
+// monitor, EXPERIMENTS.md tooling) does not know.
+func (r *benchReport) validateKeys() error {
+	var bad []string
+	for _, e := range r.Experiments {
+		for key := range e.Metrics {
+			if !metrics.KnownMetricName(key) {
+				bad = append(bad, fmt.Sprintf("%s: %q", e.Name, key))
+			}
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("unregistered metric key(s) in benchmark output (regenerate the registry with `make meters` if intentional):\n  %s",
+		joinLines(bad))
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
+
+// write validates the metric keys, snapshots the data-plane counters and
+// writes the report to path.
 func (r *benchReport) write(path string) error {
+	if err := r.validateKeys(); err != nil {
+		return err
+	}
 	hits, misses := frame.PoolStats()
 	r.Counters = map[string]uint64{
 		"frame.pool.hit":    hits,

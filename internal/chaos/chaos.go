@@ -71,6 +71,8 @@ type Event struct {
 }
 
 // String renders the event in the canonical fingerprint form.
+//
+//vpvet:deterministic
 func (e Event) String() string {
 	return fmt.Sprintf("%s %s %s for %s", e.At, e.Kind, e.Target, e.Duration)
 }
@@ -81,6 +83,8 @@ func (e Event) String() string {
 type Schedule []Event
 
 // Sorted returns a copy ordered by At with a deterministic tie-break.
+//
+//vpvet:deterministic
 func (s Schedule) Sorted() Schedule {
 	out := append(Schedule(nil), s...)
 	sort.SliceStable(out, func(i, j int) bool {
@@ -97,6 +101,8 @@ func (s Schedule) Sorted() Schedule {
 
 // Fingerprint renders the sorted schedule as one canonical string — the
 // value reproducibility tests compare across same-seed runs.
+//
+//vpvet:deterministic
 func (s Schedule) Fingerprint() string {
 	var b strings.Builder
 	for i, e := range s.Sorted() {
@@ -159,6 +165,8 @@ type GenOptions struct {
 // always produce the identical event sequence. Faults are drawn uniformly
 // over the eligible kind/target space with start times in [0, Horizon)
 // and durations in [MinDuration, MaxDuration].
+//
+//vpvet:deterministic
 func Generate(seed int64, o GenOptions) Schedule {
 	horizon := o.Horizon
 	if horizon <= 0 {

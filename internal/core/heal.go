@@ -32,6 +32,8 @@ type Action struct {
 }
 
 // String renders the action for journals and logs.
+//
+//vpvet:deterministic
 func (a Action) String() string {
 	switch a.Kind {
 	case ActionRestartService:
@@ -55,7 +57,10 @@ func errUnknownDevice(name string) error {
 // declareDead runs the full failover sequence for a device that missed
 // too many probes: mark it down (planners stop seeing it), move its
 // service pools to surviving container-capable devices, then re-plan
-// every pipeline and live-migrate the orphaned modules.
+// every pipeline and live-migrate the orphaned modules. The action
+// journal it appends to is compared across same-seed runs.
+//
+//vpvet:deterministic
 func (s *Supervisor) declareDead(ctx context.Context, name string) {
 	s.cluster.MarkDown(name)
 	s.record(Action{Kind: ActionDeviceDead, Target: name})
@@ -115,9 +120,13 @@ func (s *Supervisor) redeployTarget() (string, bool) {
 
 // checkServices walks the monitor's service view and restarts pools that
 // are dead (zero instances) or error-bursting, under backoff and budget.
+// It feeds the seed-compared action journal, so everything except the
+// explicitly-allowed backoff clock must be deterministic.
+//
+//vpvet:deterministic
 func (s *Supervisor) checkServices(ctx context.Context, rep Report) {
 	reg := s.cluster.Metrics()
-	now := time.Now()
+	now := time.Now() //vpvet:allow determinism real-time backoff clock; never recorded in the action journal
 	for _, sh := range rep.Services {
 		svc := sh.Service
 		if s.cluster.IsDown(sh.Device) {
@@ -196,7 +205,7 @@ func (s *Supervisor) checkServices(ctx context.Context, rep Report) {
 		backoff := s.backoffAfter(attempt)
 		if err != nil {
 			s.mu.Lock()
-			st.nextAttempt = time.Now().Add(backoff)
+			st.nextAttempt = time.Now().Add(backoff) //vpvet:allow determinism real-time backoff clock; never recorded in the action journal
 			s.mu.Unlock()
 			continue
 		}
@@ -206,7 +215,7 @@ func (s *Supervisor) checkServices(ctx context.Context, rep Report) {
 		// Absorb errors that accrued during the outage so the restarted
 		// pool doesn't immediately trip the burst detector again.
 		st.lastErr = reg.Meter("service." + svc + ".errors").Count()
-		st.nextAttempt = time.Now().Add(backoff)
+		st.nextAttempt = time.Now().Add(backoff) //vpvet:allow determinism real-time backoff clock; never recorded in the action journal
 		s.mu.Unlock()
 	}
 }

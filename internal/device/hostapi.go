@@ -256,10 +256,11 @@ func (m *Module) hostMetric(args []script.Value) (script.Value, error) {
 	}
 	name := args[0].(string)
 	ms := args[1].(float64)
-	key := "stage." + name
+	d := time.Duration(ms * float64(time.Millisecond))
 	if m.spec.MetricPrefix != "" {
-		key = "stage." + m.spec.MetricPrefix + "." + name
+		m.dev.reg.Histogram("stage." + m.spec.MetricPrefix + "." + name).Observe(d)
+	} else {
+		m.dev.reg.Histogram("stage." + name).Observe(d)
 	}
-	m.dev.reg.Histogram(key).Observe(time.Duration(ms * float64(time.Millisecond)))
 	return nil, nil
 }

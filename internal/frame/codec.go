@@ -158,7 +158,9 @@ func (c JPEGCodec) Decode(data []byte) (*Frame, error) {
 	}
 	f := FromImage(img)
 	if f.Width != w || f.Height != h {
-		return nil, fmt.Errorf("frame: header says %dx%d but payload is %dx%d", w, h, f.Width, f.Height)
+		gotW, gotH := f.Width, f.Height
+		f.Release()
+		return nil, fmt.Errorf("frame: header says %dx%d but payload is %dx%d", w, h, gotW, gotH)
 	}
 	f.Seq = seq
 	f.Captured = captured

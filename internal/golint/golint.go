@@ -1,0 +1,235 @@
+// Package golint is a small, self-contained static-analysis framework for
+// the Go half of VideoPipe, built directly on go/parser, go/ast and
+// go/types — the stdlib-only counterpart of pipevet (internal/script,
+// internal/core), which guards the PipeScript layer. The driver loads and
+// type-checks packages (load.go), runs a set of Analyzers over each, and
+// reports positioned diagnostics that can be suppressed per line with
+//
+//	//vpvet:allow <check>[,<check>...] [reason]
+//
+// placed on the offending line or the line directly above it. The checks
+// themselves (framerelease.go, determinism.go, metername.go,
+// lockdiscipline.go) enforce the cross-cutting invariants PRs 2-4 made
+// load-bearing: pooled-frame ownership, seed determinism and the meter
+// name contract; see DESIGN.md "Static enforcement".
+package golint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the check name used in output and //vpvet:allow comments.
+	Name string
+	// Doc is a one-line description, shown by vpvet -list.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package plus the sink for its
+// diagnostics.
+type Pass struct {
+	*Package
+	Analyzer *Analyzer
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// directive prefixes recognized in comments.
+const (
+	allowPrefix    = "//vpvet:allow"
+	deterministicD = "//vpvet:deterministic"
+	vpvetPrefix    = "//vpvet:"
+)
+
+// Run executes the analyzers over the packages and returns the surviving
+// (unsuppressed) diagnostics sorted by position. Malformed or unknown
+// //vpvet: directives are themselves reported under the "vpvet" check;
+// known lists the valid check names for that validation (defaults to the
+// analyzers being run).
+func Run(pkgs []*Package, analyzers []*Analyzer, known []string) []Diagnostic {
+	if known == nil {
+		for _, a := range analyzers {
+			known = append(known, a.Name)
+		}
+	}
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+
+	var diags []Diagnostic
+	allows := make(map[string]map[int]map[string]bool) // file -> line -> check set
+	for _, pkg := range pkgs {
+		// Collect and validate //vpvet: directives first, so suppression
+		// covers every analyzer's findings in this package.
+		for _, f := range pkg.Files {
+			collectDirectives(pkg, f, allows, knownSet, &diags)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Package: pkg, Analyzer: a, diags: &diags}
+			a.Run(pass)
+		}
+	}
+
+	// A finding is suppressed when an allow for its check sits on the same
+	// line or the line directly above.
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Check != "vpvet" && allowed(allows, d.File, d.Line, d.Check) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].File != kept[j].File {
+			return kept[i].File < kept[j].File
+		}
+		if kept[i].Line != kept[j].Line {
+			return kept[i].Line < kept[j].Line
+		}
+		if kept[i].Col != kept[j].Col {
+			return kept[i].Col < kept[j].Col
+		}
+		return kept[i].Check < kept[j].Check
+	})
+	return kept
+}
+
+func allowed(allows map[string]map[int]map[string]bool, file string, line int, check string) bool {
+	lines, ok := allows[file]
+	if !ok {
+		return false
+	}
+	for _, ln := range []int{line, line - 1} {
+		if checks, ok := lines[ln]; ok && checks[check] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives scans one file's comments for //vpvet: directives,
+// recording allows and validating that every named check is real.
+func collectDirectives(pkg *Package, f *ast.File, allows map[string]map[int]map[string]bool, known map[string]bool, diags *[]Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, vpvetPrefix) {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Slash)
+			if text == deterministicD || strings.HasPrefix(text, deterministicD+" ") {
+				continue // scope directive, consumed by the determinism analyzer
+			}
+			rest, isAllow := strings.CutPrefix(text, allowPrefix)
+			if !isAllow {
+				*diags = append(*diags, Diagnostic{
+					Check: "vpvet", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: fmt.Sprintf("unknown vpvet directive %q (known: allow, deterministic)", firstField(text)),
+				})
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				*diags = append(*diags, Diagnostic{
+					Check: "vpvet", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: "//vpvet:allow names no check (want \"//vpvet:allow <check> [reason]\")",
+				})
+				continue
+			}
+			for _, check := range strings.Split(fields[0], ",") {
+				if !known[check] {
+					*diags = append(*diags, Diagnostic{
+						Check: "vpvet", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf("//vpvet:allow names unknown check %q (known: %s)", check, strings.Join(sortedKeys(known), ", ")),
+					})
+					continue
+				}
+				if allows[pos.Filename] == nil {
+					allows[pos.Filename] = make(map[int]map[string]bool)
+				}
+				if allows[pos.Filename][pos.Line] == nil {
+					allows[pos.Filename][pos.Line] = make(map[string]bool)
+				}
+				allows[pos.Filename][pos.Line][check] = true
+			}
+		}
+	}
+}
+
+func firstField(s string) string {
+	if f := strings.Fields(s); len(f) > 0 {
+		return f[0]
+	}
+	return s
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteText renders diagnostics one per line in file:line:col form,
+// relative to dir when possible.
+func WriteText(w io.Writer, diags []Diagnostic, dir string) {
+	for _, d := range diags {
+		rel := d.File
+		if dir != "" {
+			if r, ok := strings.CutPrefix(d.File, dir+"/"); ok {
+				rel = r
+			}
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", rel, d.Line, d.Col, d.Check, d.Message)
+	}
+}
+
+// WriteJSON renders diagnostics as a JSON array.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

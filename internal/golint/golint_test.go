@@ -1,0 +1,206 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// corpusRegistry is the fixed meter registry the metername corpus is
+// written against (see testdata/metername/corpus.go).
+var corpusRegistry = []string{
+	"chaos.errors",
+	"module.*.events",
+	"pipeline.*.frames_done",
+}
+
+// goldenCases maps each corpus directory to the analyzer under test.
+var goldenCases = []struct {
+	dir      string
+	analyzer *Analyzer
+}{
+	{"testdata/framerelease", FrameRelease},
+	{"testdata/determinism", Determinism},
+	{"testdata/metername", MeterName(corpusRegistry)},
+	{"testdata/lockdiscipline", LockDiscipline},
+}
+
+// TestGolden runs each analyzer over its corpus and checks the
+// diagnostics against the `// want <regexp>` comments: every want must
+// be hit by a diagnostic on its line, and every diagnostic must be
+// wanted.
+func TestGolden(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range goldenCases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			pkg, err := loader.LoadDir(tc.dir)
+			if err != nil {
+				t.Fatalf("load %s: %v", tc.dir, err)
+			}
+			diags := Run([]*Package{pkg}, []*Analyzer{tc.analyzer}, []string{tc.analyzer.Name})
+			wants := collectWants(t, pkg)
+			if len(wants) < 3 {
+				t.Fatalf("corpus %s has %d positive cases; the suite requires at least 3", tc.dir, len(wants))
+			}
+
+			matched := make([]bool, len(diags))
+			for _, w := range wants {
+				hit := false
+				for i, d := range diags {
+					if matched[i] || d.Line != w.line {
+						continue
+					}
+					if w.re.MatchString(d.Message) {
+						matched[i] = true
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					t.Errorf("%s:%d: want diagnostic matching %q, got none", w.file, w.line, w.re)
+					for _, d := range diags {
+						if d.Line == w.line {
+							t.Errorf("  diagnostic on that line: %s", d.Message)
+						}
+					}
+				}
+			}
+			for i, d := range diags {
+				if !matched[i] {
+					t.Errorf("unexpected diagnostic %s", d)
+				}
+			}
+		})
+	}
+}
+
+// want is one expected diagnostic parsed from a corpus comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses `// want <regexp>` comments; everything after
+// "want " is the pattern, matched against the diagnostic message.
+func collectWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var out []want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				re, err := regexp.Compile(strings.TrimSpace(text))
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					t.Fatalf("%s: bad want pattern: %v", pos, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// TestCleanRepo asserts the full suite reports zero findings over the
+// repository itself — the invariant `make vet` enforces in CI. The
+// registry snapshot (internal/metrics/names.go) must also be current.
+func TestCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	start := time.Now()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load from the module root: the test binary's working directory is
+	// this package, but the clean-repo invariant covers the whole module.
+	pkgs, err := loader.Load(filepath.Join(loader.ModuleDir, "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := readRepoRegistry(t, pkgs)
+	analyzers := []*Analyzer{FrameRelease, Determinism, MeterName(registry), LockDiscipline}
+	known := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		known = append(known, a.Name)
+	}
+	diags := Run(pkgs, analyzers, known)
+	for _, d := range diags {
+		t.Errorf("repo is not vpvet-clean: %s", d)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("full-repo analysis took %s; the suite must stay under 30s", elapsed)
+	}
+
+	// The generated registry must match what a fresh -write-meters scan
+	// would produce, so call sites and names.go cannot drift apart.
+	scanned := CollectMeterNames(pkgs)
+	if got, want := fmt.Sprint(scanned), fmt.Sprint(registry); got != want {
+		t.Errorf("internal/metrics/names.go is stale: regenerate with `make meters`\n scanned: %s\n registry: %s", got, want)
+	}
+}
+
+// readRepoRegistry extracts MeterNamePatterns from the already-loaded
+// internal/metrics package, keeping the test independent of an import
+// cycle on the generated file.
+func readRepoRegistry(t *testing.T, pkgs []*Package) []string {
+	t.Helper()
+	for _, pkg := range pkgs {
+		if !strings.HasSuffix(pkg.Path, "internal/metrics") {
+			continue
+		}
+		var out []string
+		for _, file := range pkg.Files {
+			pos := pkg.Fset.Position(file.Pos())
+			if !strings.HasSuffix(pos.Filename, "names.go") {
+				continue
+			}
+			out = append(out, stringLiterals(file)...)
+		}
+		if len(out) == 0 {
+			t.Fatal("no patterns found in internal/metrics/names.go; run `make meters`")
+		}
+		return out
+	}
+	t.Fatal("internal/metrics not among loaded packages")
+	return nil
+}
+
+// stringLiterals returns every string literal in the file, in source
+// order — for names.go that is exactly the registry slice.
+func stringLiterals(file *ast.File) []string {
+	var out []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,65 @@
+// Package det is the determinism golden corpus: wall clocks, shared
+// rand and map ranges are only flagged inside //vpvet:deterministic
+// scopes.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// genOrder is a declared-deterministic function with every violation
+// class.
+//
+//vpvet:deterministic
+func genOrder(seed int64, weights map[string]int) []string {
+	start := time.Now() // want time.Now reads the wall clock inside deterministic scope genOrder
+	_ = start
+	_ = time.Since(start) // want time.Since reads the wall clock inside deterministic scope genOrder
+
+	jitter := rand.Intn(10) // want global math/rand.Intn uses shared unseeded state inside deterministic scope genOrder
+	_ = jitter
+
+	var names []string
+	for name := range weights { // want map iteration order is nondeterministic inside deterministic scope genOrder
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// seededIsFine is clean: explicitly seeded rand is the sanctioned
+// source of randomness in deterministic scopes.
+//
+//vpvet:deterministic
+func seededIsFine(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// sliceRangeIsFine is clean: only map ranges are unordered.
+//
+//vpvet:deterministic
+func sliceRangeIsFine(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// undeclaredScope is clean: without the directive the function may use
+// wall clocks freely.
+func undeclaredScope() time.Time {
+	return time.Now()
+}
+
+// allowedEscape is clean: the per-line allow sanctions the real-time
+// read.
+//
+//vpvet:deterministic
+func allowedEscape() time.Time {
+	//vpvet:allow determinism real-time escape exercised by the corpus
+	return time.Now()
+}

@@ -1,0 +1,87 @@
+// Package fr is the framerelease golden corpus. Lines carrying a
+// `// want ...` comment must produce a diagnostic matching the regexp;
+// all other lines must stay clean.
+package fr
+
+import (
+	"fmt"
+
+	"videopipe/internal/frame"
+)
+
+// leakOnError drops the pooled frame on the early error return.
+func leakOnError(data []byte) (*frame.Frame, error) {
+	f := frame.MustNewPooled(4, 4)
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty payload") // want pooled frame "f" obtained at .* is not released on this path
+	}
+	return f, nil
+}
+
+// useAfterRelease touches the frame after giving it back to the pool.
+func useAfterRelease() int {
+	f := frame.MustNewPooled(4, 4)
+	f.Release()
+	return f.Width // want use of frame "f" after Release
+}
+
+// doubleRelease releases the same frame twice (the pool panics at
+// runtime; the analyzer catches it statically).
+func doubleRelease() {
+	f := frame.MustNewPooled(4, 4)
+	f.Release()
+	f.Release() // want double Release of frame "f"
+}
+
+// overwriteOwned loses the only reference to the first pooled frame.
+func overwriteOwned() {
+	f := frame.MustNewPooled(4, 4)
+	f = frame.MustNewPooled(8, 8) // want pooled frame "f" obtained at .* is overwritten while still owned
+	f.Release()
+}
+
+// cloneLeak leaks a Clone on one branch of a switch.
+func cloneLeak(src *frame.Frame, mode int) *frame.Frame {
+	out := src.Clone()
+	switch mode {
+	case 0:
+		return out
+	default:
+		return src // want pooled frame "out" obtained at .* is not released on this path
+	}
+}
+
+// releasedOnEveryPath is clean: defer covers all exits.
+func releasedOnEveryPath(data []byte) (int, error) {
+	f := frame.MustNewPooled(4, 4)
+	defer f.Release()
+	if len(data) == 0 {
+		return 0, fmt.Errorf("empty payload")
+	}
+	return f.Width, nil
+}
+
+// transferredByReturn is clean: ownership moves to the caller.
+func transferredByReturn() *frame.Frame {
+	f := frame.MustNewPooled(4, 4)
+	f.Seq = 1
+	return f
+}
+
+// nilGuarded is clean: the error branch means f is nil, and the happy
+// path releases.
+func nilGuarded(c frame.Codec, data []byte) (int, error) {
+	f, err := c.Decode(data)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Release()
+	return f.Width, nil
+}
+
+// transferredByCall is clean: passing the frame to another function
+// hands over ownership.
+func transferredByCall(sink func(*frame.Frame)) {
+	f := frame.MustNewPooled(4, 4)
+	sink(f)
+}

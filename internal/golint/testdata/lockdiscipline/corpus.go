@@ -1,0 +1,67 @@
+// Package ld is the lockdiscipline golden corpus: locks copied by
+// value, and channel sends while a mutex is held.
+package ld
+
+import "sync"
+
+type guarded struct {
+	mu    sync.Mutex
+	out   chan int
+	count int
+}
+
+// sendWhileHeld blocks on a channel send with the mutex held: the
+// receiver may need the same lock, so this can deadlock.
+func (g *guarded) sendWhileHeld(v int) {
+	g.mu.Lock()
+	g.count++
+	g.out <- v // want channel send while g\.mu is held
+	g.mu.Unlock()
+}
+
+// selectWhileHeld blocks in a select with no default while holding the
+// lock.
+func (g *guarded) selectWhileHeld(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.out <- v: // want channel send \(in select without default\) while g\.mu is held
+	}
+}
+
+// byValue copies the receiver's mutex.
+func byValue(g guarded) int { // want parameter of byValue copies a lock
+	return g.count
+}
+
+// derefCopy duplicates the lock through a pointer dereference.
+func derefCopy(g *guarded) {
+	snapshot := *g // want assignment copies a lock
+	_ = snapshot
+}
+
+// sendAfterUnlock is clean: the critical section ends before the send.
+func (g *guarded) sendAfterUnlock(v int) {
+	g.mu.Lock()
+	g.count++
+	g.mu.Unlock()
+	g.out <- v
+}
+
+// selectWithDefault is clean: a default case means the send cannot
+// block.
+func (g *guarded) selectWithDefault(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.out <- v:
+	default:
+	}
+}
+
+// pointerUse is clean: no lock value is copied.
+func pointerUse(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import "strings"
+
+// KnownMetricName reports whether name matches one of the generated
+// MeterNamePatterns (names.go), where each '*' stands for one or more
+// characters. vpbench validates every -out JSON metric key through this
+// before writing, so benchmark output can never carry a name the rest of
+// the system (tests, the monitor, EXPERIMENTS.md tooling) does not know.
+func KnownMetricName(name string) bool {
+	for _, p := range MeterNamePatterns {
+		if MatchMetricPattern(p, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchMetricPattern reports whether name matches pattern; '*' matches
+// one or more characters. The same semantics drive the static metername
+// check in internal/golint.
+func MatchMetricPattern(pattern, name string) bool {
+	parts := strings.Split(pattern, "*")
+	if len(parts) == 1 {
+		return pattern == name
+	}
+	if !strings.HasPrefix(name, parts[0]) {
+		return false
+	}
+	rest := name[len(parts[0]):]
+	for i := 1; i < len(parts); i++ {
+		p := parts[i]
+		if i == len(parts)-1 {
+			if p == "" {
+				return len(rest) >= 1
+			}
+			return strings.HasSuffix(rest, p) && len(rest) >= len(p)+1
+		}
+		if len(rest) < 1 {
+			return false
+		}
+		idx := strings.Index(rest[1:], p)
+		if idx < 0 {
+			return false
+		}
+		rest = rest[1+idx+len(p):]
+	}
+	return true
+}

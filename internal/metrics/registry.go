@@ -56,6 +56,7 @@ func (r *Registry) Meter(name string) *Meter {
 func (r *Registry) Time(name string, fn func() error) error {
 	start := time.Now()
 	err := fn()
+	//vpvet:allow metername generic plumbing; callers' literal names are checked at their call sites
 	r.Histogram(name).Observe(time.Since(start))
 	return err
 }
@@ -89,9 +90,11 @@ func (r *Registry) MeterNames() []string {
 func (r *Registry) Report() string {
 	var b strings.Builder
 	for _, n := range r.HistogramNames() {
+		//vpvet:allow metername re-reads an instrument already registered under this name
 		fmt.Fprintf(&b, "%-32s %s\n", n, r.Histogram(n).Snapshot())
 	}
 	for _, n := range r.MeterNames() {
+		//vpvet:allow metername re-reads an instrument already registered under this name
 		m := r.Meter(n)
 		fmt.Fprintf(&b, "%-32s rate=%.2f/s count=%d\n", n, m.Rate(), m.Count())
 	}

@@ -52,6 +52,7 @@ const (
 	CodeNoHandler     = "PV008" // reachable module defines no event_received
 	CodeBadCallback   = "PV009" // lifecycle callback declared with wrong arity
 	CodeConstAssign   = "PV010" // assignment to a const
+	CodeFrameHeld     = "PV011" // frame held across call_service, neither forwarded nor dropped
 )
 
 // Diagnostic is one positioned finding.
@@ -246,6 +247,8 @@ func (a *analyzer) run(prog *program) {
 		a.diag(Position{Line: 1, Col: 1}, CodeNoHandler, SeverityError,
 			"module defines no event_received(message) handler but is reachable from the source")
 	}
+
+	a.frameFlow(prog) // PV011: frame held across call_service (frameflow.go)
 }
 
 // noteCallback records lifecycle-callback definitions and checks their

@@ -1,0 +1,186 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFrameFlowCorpus is the PV011 golden corpus — the script-level
+// mirror of vpvet's framerelease check: a path through event_received
+// that performs a call_service must forward the frame (call_module),
+// drop it (frame_done), or hand it to a helper that does, before the
+// handler returns.
+func TestFrameFlowCorpus(t *testing.T) {
+	positives := []struct {
+		name string
+		src  string
+		line int // line of the offending call_service
+	}{
+		{
+			name: "held across plain fall-off",
+			src: `function event_received(message) {
+	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+	metric("found", num(r.found));
+}`,
+			line: 2,
+		},
+		{
+			name: "resolved on one branch only",
+			src: `function event_received(message) {
+	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+	if (r.found) {
+		frame_done();
+	}
+}`,
+			line: 2,
+		},
+		{
+			name: "early return skips resolution",
+			src: `function event_received(message) {
+	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+	if (!r.found) {
+		return;
+	}
+	call_module("next", {frame_ref: message.frame_ref, pose: r.pose});
+}`,
+			line: 2,
+		},
+		{
+			name: "switch without default leaks the fall-through",
+			src: `function event_received(message) {
+	var r = call_service("classifier", {frame_ref: message.frame_ref});
+	switch (r.label) {
+	case "person":
+		call_module("alert", {frame_ref: message.frame_ref});
+		break;
+	}
+}`,
+			line: 2,
+		},
+	}
+	for _, tc := range positives {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Analyze(tc.src, Options{})
+			var hit *Diagnostic
+			for i := range rep.Diagnostics {
+				if rep.Diagnostics[i].Code == CodeFrameHeld {
+					hit = &rep.Diagnostics[i]
+					break
+				}
+			}
+			if hit == nil {
+				t.Fatalf("no %s diagnostic; got %v", CodeFrameHeld, rep.Diagnostics)
+			}
+			if hit.Severity != SeverityWarning {
+				t.Errorf("severity = %v, want warning", hit.Severity)
+			}
+			if hit.Pos.Line != tc.line {
+				t.Errorf("position = %s, want line %d (%s)", hit.Pos, tc.line, hit.Message)
+			}
+			if !strings.Contains(hit.Message, "call_service") {
+				t.Errorf("message does not name call_service: %s", hit.Message)
+			}
+			// One finding per offending call, even with several leaky exits.
+			n := 0
+			for _, d := range rep.Diagnostics {
+				if d.Code == CodeFrameHeld {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Errorf("got %d PV011 diagnostics, want 1: %v", n, rep.Diagnostics)
+			}
+		})
+	}
+
+	negatives := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "branch drops, fall-through forwards",
+			src: `function event_received(message) {
+	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+	if (!r.found) {
+		frame_done();
+		return;
+	}
+	call_module("next", {frame_ref: message.frame_ref, pose: r.pose});
+}`,
+		},
+		{
+			name: "resolving helper function",
+			src: `function finish(ok) {
+	metric("ok", num(ok));
+	frame_done();
+}
+function event_received(message) {
+	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+	finish(r.found);
+}`,
+		},
+		{
+			name: "throw path is reclaimed by the runtime",
+			src: `function event_received(message) {
+	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+	if (!r.found) {
+		throw "no subject";
+	}
+	call_module("next", {frame_ref: message.frame_ref});
+}`,
+		},
+		{
+			name: "no call_service means no PV011 obligation",
+			src: `function event_received(message) {
+	metric("seen", message.seq);
+}`,
+		},
+		{
+			name: "call_service inside a loop, resolved after",
+			src: `function event_received(message) {
+	var hits = 0;
+	for (var i = 0; i < 3; i++) {
+		var r = call_service("classifier", {frame_ref: message.frame_ref, band: i});
+		if (r.found) {
+			hits++;
+		}
+	}
+	metric("hits", hits);
+	frame_done();
+}`,
+		},
+	}
+	for _, tc := range negatives {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Analyze(tc.src, Options{})
+			for _, d := range rep.Diagnostics {
+				if d.Code == CodeFrameHeld {
+					t.Errorf("unexpected PV011: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestFrameFlowDiagnosticShape pins the rendered diagnostic the -lint CLI
+// prints for PV011.
+func TestFrameFlowDiagnosticShape(t *testing.T) {
+	src := `function event_received(message) {
+	var r = call_service("svc", {frame_ref: message.frame_ref});
+	log(r);
+}`
+	rep := Analyze(src, Options{})
+	for _, d := range rep.Diagnostics {
+		if d.Code != CodeFrameHeld {
+			continue
+		}
+		got := d.String()
+		want := fmt.Sprintf("%s: warning %s:", d.Pos, CodeFrameHeld)
+		if !strings.HasPrefix(got, want) {
+			t.Errorf("String() = %q, want prefix %q", got, want)
+		}
+		return
+	}
+	t.Fatal("no PV011 diagnostic produced")
+}

@@ -33,8 +33,13 @@ type savedVar struct {
 // Snapshot captures the context's current data-valued globals. The
 // receiver must be quiescent — a Context is not safe for concurrent use,
 // so the module runtime only snapshots after the event loop has stopped.
+// Snapshots taken at the same logical point must be byte-identical across
+// runs; the sort below restores order after the map walk.
+//
+//vpvet:deterministic
 func (c *Context) Snapshot() *Snapshot {
 	s := &Snapshot{}
+	//vpvet:allow determinism iteration order is erased by the sort below
 	for name, b := range c.globals.vars {
 		if b.constant {
 			continue
@@ -53,6 +58,8 @@ func (c *Context) Snapshot() *Snapshot {
 // values) and globals absent from the context are defined. Constants and
 // function-valued bindings in the destination are left untouched. A nil
 // snapshot is a no-op.
+//
+//vpvet:deterministic
 func (c *Context) Restore(s *Snapshot) {
 	if s == nil {
 		return

@@ -348,6 +348,7 @@ func handleDisplay(_ context.Context, req Request) (Response, error) {
 	if poseMap, ok := req.Args["pose"].(map[string]any); ok {
 		pose, err := vision.PoseFromMap(poseMap)
 		if err != nil {
+			out.Release()
 			return Response{}, fmt.Errorf("display: %w", err)
 		}
 		overlay := color.RGBA{R: 255, G: 215, B: 0, A: 255}
