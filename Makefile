@@ -11,14 +11,16 @@ build:
 
 # Go-host static analysis. Cheap pre-steps first (gofmt, go vet), then the
 # vpvet analyzer suite (framerelease, determinism, metername,
-# lockdiscipline — see DESIGN.md "Static enforcement") over every package.
-# Exits non-zero on any finding; each step names itself on failure so a
-# red `make check` points straight at the offending check.
+# lockdiscipline — see DESIGN.md "Static enforcement") over every package,
+# then a staleness check of the generated meter registry. Exits non-zero
+# on any finding; each step names itself on failure so a red `make check`
+# points straight at the offending check.
 vet:
 	@unformatted=$$(gofmt -l . 2>/dev/null); if [ -n "$$unformatted" ]; then \
 		echo "vet failed: gofmt (needs formatting):"; echo "$$unformatted"; exit 1; fi
 	@$(GO) vet ./... || { echo "vet failed: go vet"; exit 1; }
 	@$(GO) run ./cmd/vpvet ./... || { echo "vet failed: vpvet (findings above; suppress a false positive with //vpvet:allow <check> <reason>)"; exit 1; }
+	@$(GO) run ./cmd/vpvet -check-meters ./... || { echo "vet failed: meter registry stale (run make meters)"; exit 1; }
 
 # Regenerate the meter-name registry (internal/metrics/names.go) from
 # every statically-visible Meter/Histogram/benchEntry.set name. Run after

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,12 +48,13 @@ source : { device: phone, module: streamer, fps: 15,
 func main() {
 	var (
 		configPath = flag.String("config", "", "pipeline configuration file (Listing-1 dialect)")
-		plannerArg = flag.String("planner", "videopipe", "deployment plan: videopipe|baseline|pinned")
+		plannerArg = flag.String("planner", "videopipe", "deployment plan: videopipe|baseline|pinned|cost")
 		duration   = flag.Duration("duration", 10*time.Second, "how long to run the pipeline")
 		fps        = flag.Float64("fps", 0, "override the config's source frame rate")
 		verbose    = flag.Bool("verbose", false, "print module log() output")
 		example    = flag.Bool("example", false, "print an example config and exit")
 		lint       = flag.Bool("lint", false, "statically analyze the config and exit (no deployment)")
+		jsonOut    = flag.Bool("json", false, "with -lint, emit diagnostics as a JSON array on stdout")
 	)
 	flag.Parse()
 
@@ -61,7 +63,7 @@ func main() {
 		return
 	}
 	if *lint {
-		os.Exit(runLint(*configPath, os.Stdout, os.Stderr))
+		os.Exit(runLint(*configPath, *jsonOut, os.Stdout, os.Stderr))
 	}
 	if err := run(*configPath, *plannerArg, *duration, *fps, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "videopipe:", err)
@@ -94,8 +96,10 @@ func run(configPath, plannerArg string, duration time.Duration, fps float64, ver
 		planner = videopipe.BaselinePlanner{}
 	case "pinned":
 		planner = videopipe.PinnedPlanner{}
+	case "cost":
+		planner = videopipe.CostAwarePlanner{}
 	default:
-		return fmt.Errorf("unknown planner %q (videopipe|baseline|pinned)", plannerArg)
+		return fmt.Errorf("unknown planner %q (videopipe|baseline|pinned|cost)", plannerArg)
 	}
 
 	fmt.Println("building standard services (training activity classifier)...")
@@ -153,18 +157,55 @@ func run(configPath, plannerArg string, duration time.Duration, fps float64, ver
 	return nil
 }
 
+// lintJSONDiag is the machine-readable form of one pipevet/pipecost
+// finding, mirroring the field layout of `vpvet -json` so CI can consume
+// both with one schema.
+type lintJSONDiag struct {
+	File     string `json:"file"`
+	Module   string `json:"module,omitempty"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
 // runLint statically analyzes a config with pipevet and reports every
 // diagnostic without deploying anything. The return value is the process
 // exit status: 0 when the pipeline is deployable (warnings allowed),
 // 1 when the config fails to parse/validate or any diagnostic is an error.
-func runLint(configPath string, stdout, stderr io.Writer) int {
+// With jsonOut, the diagnostics go to stdout as an indented JSON array
+// (structural errors still print to stderr).
+func runLint(configPath string, jsonOut bool, stdout, stderr io.Writer) int {
 	diags, err := lintConfig(configPath)
 	errors := 0
 	for _, d := range diags {
 		if d.Severity == videopipe.SeverityError {
 			errors++
 		}
-		fmt.Fprintf(stderr, "%s: %s\n", configPath, d)
+		if !jsonOut {
+			fmt.Fprintf(stderr, "%s: %s\n", configPath, d)
+		}
+	}
+	if jsonOut {
+		out := make([]lintJSONDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, lintJSONDiag{
+				File:     configPath,
+				Module:   d.Module,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Col,
+				Code:     d.Code,
+				Severity: d.Severity.String(),
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(out); encErr != nil {
+			fmt.Fprintln(stderr, "videopipe:", encErr)
+			return 1
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "videopipe:", err)
@@ -174,7 +215,9 @@ func runLint(configPath string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "%s: %d error(s), %d warning(s)\n", configPath, errors, len(diags)-errors)
 		return 1
 	}
-	fmt.Fprintf(stdout, "%s: ok (%d warning(s))\n", configPath, len(diags))
+	if !jsonOut {
+		fmt.Fprintf(stdout, "%s: ok (%d warning(s))\n", configPath, len(diags))
+	}
 	return 0
 }
 

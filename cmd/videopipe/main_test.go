@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -94,7 +95,7 @@ source : { device: phone, module: watch, fps: 15, width: 480, height: 360 }
 func TestLintCleanConfig(t *testing.T) {
 	path := writeTestConfig(t)
 	var out, errOut strings.Builder
-	if code := runLint(path, &out, &errOut); code != 0 {
+	if code := runLint(path, false, &out, &errOut); code != 0 {
 		t.Fatalf("lint exit = %d, stderr:\n%s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "ok") {
@@ -105,7 +106,7 @@ func TestLintCleanConfig(t *testing.T) {
 func TestLintBrokenConfig(t *testing.T) {
 	path := writeBrokenConfig(t)
 	var out, errOut strings.Builder
-	if code := runLint(path, &out, &errOut); code != 1 {
+	if code := runLint(path, false, &out, &errOut); code != 1 {
 		t.Fatalf("lint exit = %d, want 1", code)
 	}
 	msg := errOut.String()
@@ -120,10 +121,10 @@ func TestLintBrokenConfig(t *testing.T) {
 
 func TestLintErrors(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := runLint("", &out, &errOut); code != 1 {
+	if code := runLint("", false, &out, &errOut); code != 1 {
 		t.Error("missing -config accepted")
 	}
-	if code := runLint("/nonexistent/path.cfg", &out, &errOut); code != 1 {
+	if code := runLint("/nonexistent/path.cfg", false, &out, &errOut); code != 1 {
 		t.Error("unreadable config accepted")
 	}
 	// Unparseable config text.
@@ -131,7 +132,87 @@ func TestLintErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("modules : ["), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if code := runLint(bad, &out, &errOut); code != 1 {
+	if code := runLint(bad, false, &out, &errOut); code != 1 {
 		t.Error("unparseable config accepted")
+	}
+}
+
+// writeUnboundedConfig produces a deployable config whose module has a
+// statically unbounded loop — a pipecost PV012 warning, not an error.
+func writeUnboundedConfig(t *testing.T) string {
+	t.Helper()
+	cfg := `
+modules : [
+	{ name: watch
+	  source: "function event_received(m) { while (m.seq > 0) { m.seq--; } frame_done(); }" }
+]
+source : { device: phone, module: watch, fps: 15, width: 480, height: 360 }
+`
+	path := filepath.Join(t.TempDir(), "unbounded.cfg")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLintJSON checks the machine-readable output: a JSON array on stdout
+// carrying pipevet and pipecost findings, empty array for clean configs.
+func TestLintJSON(t *testing.T) {
+	path := writeUnboundedConfig(t)
+	var out, errOut strings.Builder
+	if code := runLint(path, true, &out, &errOut); code != 0 {
+		t.Fatalf("lint exit = %d (warnings must not fail), stderr:\n%s", code, errOut.String())
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	found := false
+	for _, d := range diags {
+		if d["code"] == "PV012" {
+			found = true
+			if d["severity"] != "warning" {
+				t.Errorf("PV012 severity = %v, want warning", d["severity"])
+			}
+			if d["module"] != "watch" {
+				t.Errorf("PV012 module = %v, want watch", d["module"])
+			}
+			if d["file"] != path {
+				t.Errorf("PV012 file = %v, want %s", d["file"], path)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("JSON output lacks the PV012 finding:\n%s", out.String())
+	}
+
+	// Clean config: an empty JSON array, nothing else on stdout.
+	clean := writeTestConfig(t)
+	out.Reset()
+	errOut.Reset()
+	if code := runLint(clean, true, &out, &errOut); code != 0 {
+		t.Fatalf("clean lint exit = %d", code)
+	}
+	var empty []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &empty); err != nil {
+		t.Fatalf("clean stdout is not JSON: %v\n%s", err, out.String())
+	}
+	if len(empty) != 0 {
+		t.Errorf("clean config produced findings: %v", empty)
+	}
+
+	// Broken config: JSON still emitted, exit stays 1.
+	broken := writeBrokenConfig(t)
+	out.Reset()
+	errOut.Reset()
+	if code := runLint(broken, true, &out, &errOut); code != 1 {
+		t.Fatalf("broken lint exit = %d, want 1", code)
+	}
+	var brokenDiags []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &brokenDiags); err != nil {
+		t.Fatalf("broken stdout is not JSON: %v\n%s", err, out.String())
+	}
+	if len(brokenDiags) == 0 {
+		t.Error("broken config produced no JSON findings")
 	}
 }

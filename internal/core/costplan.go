@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"videopipe/internal/script"
+)
+
+// defaultHopPenalty is the placement cost of moving a frame across the
+// network instead of keeping it on the predecessor's device, in the same
+// abstract instruction units as pipecost handler weights. A serviceless
+// module migrates off its predecessor's device only when that device has
+// already accumulated more than this much per-frame work.
+const defaultHopPenalty = int64(100_000)
+
+// CostAwarePlanner extends the co-locating strategy with the pipecost
+// signal: modules with services still land beside their services (that
+// rule is VideoPipe's core result and cost cannot beat a saved network
+// round-trip), but serviceless modules are placed by minimizing
+// accumulated per-frame handler weight plus a hop penalty, instead of
+// blindly inheriting the predecessor's device. Flow-control credits scale
+// with the number of symbolic (DNN-backed) stages, so deeper inference
+// pipelines get more frames in flight to overlap transfer with inference.
+type CostAwarePlanner struct {
+	// Credits overrides the in-flight frame allowance; <= 0 derives it
+	// from the pipeline's symbolic stage count (2..4).
+	Credits int
+	// HopPenalty overrides the cross-device placement penalty; <= 0
+	// selects defaultHopPenalty.
+	HopPenalty int64
+}
+
+var _ Planner = CostAwarePlanner{}
+
+// Name identifies the strategy.
+func (CostAwarePlanner) Name() string { return "cost-aware" }
+
+// Plan places modules in topological order, maintaining a per-device load
+// ledger of the handler weights already assigned there.
+func (p CostAwarePlanner) Plan(cfg *PipelineConfig, c *Cluster) (Plan, error) {
+	order, err := cfg.TopoOrder()
+	if err != nil {
+		return Plan{}, err
+	}
+	costs := cfg.CostReports()
+	hop := p.HopPenalty
+	if hop <= 0 {
+		hop = defaultHopPenalty
+	}
+
+	placement := make(map[string]string, len(cfg.Modules))
+	load := make(map[string]int64)
+
+	for _, name := range order {
+		m, _ := cfg.Module(name)
+		dev, err := p.placeModule(cfg, c, m, placement, load, costs, hop)
+		if err != nil {
+			return Plan{}, err
+		}
+		placement[name] = dev
+		load[dev] += costs[name].EventWeight()
+	}
+
+	credits := p.Credits
+	if credits <= 0 {
+		symbolic := 0
+		for _, name := range order {
+			if costs[name].EventSymbolic() {
+				symbolic++
+			}
+		}
+		credits = 1 + symbolic
+		if credits < 2 {
+			credits = 2
+		}
+		if credits > 4 {
+			credits = 4
+		}
+	}
+	return Plan{Placement: placement, Credits: credits}, nil
+}
+
+func (p CostAwarePlanner) placeModule(cfg *PipelineConfig, c *Cluster, m *ModuleConfig,
+	placed map[string]string, load map[string]int64, costs map[string]script.CostReport, hop int64) (string, error) {
+	// 1. Explicit pin wins, as in every planner.
+	if m.Device != "" {
+		if _, ok := c.Device(m.Device); !ok {
+			return "", fmt.Errorf("core: module %q pinned to unknown device %q", m.Name, m.Device)
+		}
+		return m.Device, nil
+	}
+	// 2. Modules with services co-locate with the device hosting the most
+	// of them — a remote call_service per frame always costs more than any
+	// script work. Ties break by lighter accumulated load, then by name.
+	if len(m.Services) > 0 {
+		counts := make(map[string]int)
+		for _, svc := range m.Services {
+			if host, ok := c.ServiceHost(svc); ok {
+				counts[host]++
+			}
+		}
+		if len(counts) > 0 {
+			hosts := make([]string, 0, len(counts))
+			for h := range counts {
+				hosts = append(hosts, h)
+			}
+			sort.Slice(hosts, func(i, j int) bool {
+				if counts[hosts[i]] != counts[hosts[j]] {
+					return counts[hosts[i]] > counts[hosts[j]]
+				}
+				if load[hosts[i]] != load[hosts[j]] {
+					return load[hosts[i]] < load[hosts[j]]
+				}
+				return hosts[i] < hosts[j]
+			})
+			return hosts[0], nil
+		}
+	}
+	// 3. The source's first module stays on the camera device: frames are
+	// born there, and moving ingestion would ship every raw frame.
+	if m.Name == cfg.Source.FirstModule && cfg.Source.Device != "" {
+		if _, ok := c.Device(cfg.Source.Device); !ok {
+			return "", fmt.Errorf("core: source device %q unknown", cfg.Source.Device)
+		}
+		return cfg.Source.Device, nil
+	}
+	// 4. Serviceless modules: minimize accumulated handler weight plus a
+	// hop penalty for leaving the predecessor's device. With an idle
+	// cluster this reduces to the co-locating inherit rule; it diverges
+	// exactly when the predecessor's device already carries more than a
+	// hop's worth of per-frame work.
+	predDev := ""
+	for _, other := range cfg.Modules {
+		for _, next := range other.Next {
+			if next != m.Name {
+				continue
+			}
+			if dev, ok := placed[other.Name]; ok {
+				predDev = dev
+			}
+		}
+	}
+	candidates := c.DeviceNames()
+	best, bestScore := "", int64(-1)
+	for _, dev := range candidates {
+		if c.IsDown(dev) {
+			continue
+		}
+		score := load[dev]
+		if predDev != "" && dev != predDev {
+			score += hop
+		}
+		better := bestScore < 0 || score < bestScore
+		if !better && score == bestScore {
+			// Deterministic ties: prefer staying with the predecessor,
+			// then lexicographic order.
+			better = dev == predDev || (best != predDev && dev < best)
+		}
+		if better {
+			best, bestScore = dev, score
+		}
+	}
+	if best != "" {
+		return best, nil
+	}
+	// 5. Fall back to the camera device.
+	if cfg.Source.Device != "" {
+		return cfg.Source.Device, nil
+	}
+	return "", fmt.Errorf("core: cannot place module %q", m.Name)
+}

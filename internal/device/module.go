@@ -429,6 +429,10 @@ func (m *Module) handleEvent(ev event) {
 	}
 
 	_, err := m.ctx.Call("event_received", script.FromGo(anyMap(ev.body)))
+	// Per-event interpreter instruction count — the runtime half of the
+	// pipecost validation loop (static bound >= this) and the metering hook
+	// sandbox resource governance will enforce limits on.
+	m.dev.reg.Meter("script." + m.spec.Name + ".instructions").MarkN(uint64(m.ctx.LastInstructions()))
 	if err != nil {
 		m.dev.reg.Meter("module." + m.spec.Name + ".errors").Mark()
 		// The frame this event owned will never reach frame_done();

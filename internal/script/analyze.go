@@ -41,18 +41,20 @@ func (s Severity) String() string {
 // Diagnostic codes reported by Analyze. internal/core adds the PV1xx range
 // for config cross-checks.
 const (
-	CodeSyntax        = "PV000" // source does not parse
-	CodeUndefined     = "PV001" // reference to an undefined identifier
-	CodeUseBeforeDecl = "PV002" // straight-line use before declaration
-	CodeUnused        = "PV003" // variable or parameter never read
-	CodeUnreachable   = "PV004" // statement after return/throw/break/continue
-	CodeCondAssign    = "PV005" // assignment used as a condition
-	CodeDuplicate     = "PV006" // duplicate declaration in one scope
-	CodeBadCall       = "PV007" // arity/type mismatch against a known signature
-	CodeNoHandler     = "PV008" // reachable module defines no event_received
-	CodeBadCallback   = "PV009" // lifecycle callback declared with wrong arity
-	CodeConstAssign   = "PV010" // assignment to a const
-	CodeFrameHeld     = "PV011" // frame held across call_service, neither forwarded nor dropped
+	CodeSyntax          = "PV000" // source does not parse
+	CodeUndefined       = "PV001" // reference to an undefined identifier
+	CodeUseBeforeDecl   = "PV002" // straight-line use before declaration
+	CodeUnused          = "PV003" // variable or parameter never read
+	CodeUnreachable     = "PV004" // statement after return/throw/break/continue
+	CodeCondAssign      = "PV005" // assignment used as a condition
+	CodeDuplicate       = "PV006" // duplicate declaration in one scope
+	CodeBadCall         = "PV007" // arity/type mismatch against a known signature
+	CodeNoHandler       = "PV008" // reachable module defines no event_received
+	CodeBadCallback     = "PV009" // lifecycle callback declared with wrong arity
+	CodeConstAssign     = "PV010" // assignment to a const
+	CodeFrameHeld       = "PV011" // frame held across call_service, neither forwarded nor dropped
+	CodeUnboundedLoop   = "PV012" // loop with no statically inferable iteration bound
+	CodeUnboundableCost = "PV013" // handler cost unboundable (recursion or dynamic call)
 )
 
 // Diagnostic is one positioned finding.
@@ -109,6 +111,9 @@ type Facts struct {
 type Report struct {
 	Diagnostics []Diagnostic
 	Facts       Facts
+	// Cost is the pipecost result: per-handler worst-case instruction and
+	// allocation bounds (cost.go). Empty when the source does not parse.
+	Cost CostReport
 }
 
 // HasErrors reports whether any diagnostic is error severity.
@@ -153,6 +158,11 @@ func Analyze(src string, opts Options) Report {
 	}
 	a.run(prog)
 
+	// pipecost: worst-case instruction/allocation bounds per handler, with
+	// PV012/PV013 diagnostics for what cannot be bounded (cost.go).
+	cost, costDiags := costPass(prog, a.sigs, opts.Globals)
+	a.diags = append(a.diags, costDiags...)
+
 	sort.SliceStable(a.diags, func(i, j int) bool {
 		pi, pj := a.diags[i].Pos, a.diags[j].Pos
 		if pi.Line != pj.Line {
@@ -160,7 +170,7 @@ func Analyze(src string, opts Options) Report {
 		}
 		return pi.Col < pj.Col
 	})
-	return Report{Diagnostics: a.diags, Facts: a.facts}
+	return Report{Diagnostics: a.diags, Facts: a.facts, Cost: cost}
 }
 
 // ---- scope model ----

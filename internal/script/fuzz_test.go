@@ -62,3 +62,61 @@ func FuzzParse(f *testing.F) {
 		_ = Analyze(src, Options{RequireEventReceived: true})
 	})
 }
+
+// FuzzCost drives the pipecost pass with arbitrary handler bodies,
+// asserting two properties: the pass never panics, and the bound is
+// monotone — appending a statement to the body never lowers the computed
+// instruction or allocation bound.
+func FuzzCost(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "configs", "*.js"))
+	if err != nil {
+		f.Fatalf("glob examples: %v", err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("read %s: %v", p, err)
+		}
+		f.Add(string(src))
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		// No panics on raw input, parseable or not.
+		_ = AnalyzeCost(body)
+
+		// Monotonicity: the same body with one more statement appended must
+		// not get a smaller bound. Skip bodies the wrapper cannot absorb
+		// (e.g. an unbalanced brace swallowing the closer).
+		base := "function event_received(message) {\n" + body + "\n}"
+		grown := "function event_received(message) {\n" + body + "\nvar __fz_pad = 0;\n}"
+		repBase := AnalyzeCost(base)
+		repGrown := AnalyzeCost(grown)
+		hb, okb := repBase.Handler("event_received")
+		hg, okg := repGrown.Handler("event_received")
+		if !okb || !okg {
+			return
+		}
+		if !hb.Bounded {
+			// Unbounded stays unbounded when statements are added.
+			if hg.Bounded {
+				t.Errorf("bound appeared when growing the body:\n%s", body)
+			}
+			return
+		}
+		if !hg.Bounded {
+			// Growing can only make things unbounded via the pad statement's
+			// interaction with the tail (e.g. body ends mid-statement); that
+			// changes the parse, not the model — ignore.
+			return
+		}
+		if hg.Steps < hb.Steps {
+			t.Errorf("instruction bound shrank %d -> %d when growing the body:\n%s", hb.Steps, hg.Steps, body)
+		}
+		if hg.Allocs < hb.Allocs {
+			t.Errorf("allocation bound shrank %d -> %d when growing the body:\n%s", hb.Allocs, hg.Allocs, body)
+		}
+	})
+}

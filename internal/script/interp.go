@@ -49,6 +49,14 @@ type Context struct {
 	globals  *environment
 	maxSteps int64
 	maxDepth int
+	// instructions accumulates interpreter steps across every Load/Eval/Call
+	// on this context; lastInstructions holds the count of the most recent
+	// one. The device runtime exports them as the
+	// `script.<module>.instructions` meter, and the pipecost soundness test
+	// checks lastInstructions against the static bound. Not synchronized —
+	// the Context itself is single-threaded by contract.
+	instructions     int64
+	lastInstructions int64
 }
 
 // NewContext creates a context with the standard library installed.
@@ -94,6 +102,22 @@ func (c *Context) Has(name string) bool {
 	return ok
 }
 
+// Instructions returns the total interpreter steps executed by this
+// context across all invocations so far.
+func (c *Context) Instructions() int64 { return c.instructions }
+
+// LastInstructions returns the interpreter steps of the most recent
+// Load, Eval or Call — the per-event count the
+// `script.<module>.instructions` meter records.
+func (c *Context) LastInstructions() int64 { return c.lastInstructions }
+
+// account records one finished invocation's step count, including failed
+// ones — a partial run still consumed its steps.
+func (c *Context) account(in *interp) {
+	c.lastInstructions = in.steps
+	c.instructions += in.steps
+}
+
 // Load parses and executes src at the top level: declarations become
 // globals, top-level statements run immediately.
 func (c *Context) Load(src string) error {
@@ -102,6 +126,7 @@ func (c *Context) Load(src string) error {
 		return err
 	}
 	in := &interp{ctx: c}
+	defer c.account(in)
 	for _, s := range prog.stmts {
 		if err := in.execStmt(s, c.globals); err != nil {
 			return in.publicError(err)
@@ -118,6 +143,7 @@ func (c *Context) Eval(src string) (Value, error) {
 		return nil, err
 	}
 	in := &interp{ctx: c}
+	defer c.account(in)
 	var last Value
 	for _, s := range prog.stmts {
 		es, ok := s.(*exprStmt)
@@ -144,6 +170,7 @@ func (c *Context) Call(name string, args ...Value) (Value, error) {
 		return nil, &RuntimeError{Msg: fmt.Sprintf("function %q is not defined", name)}
 	}
 	in := &interp{ctx: c}
+	defer c.account(in)
 	v, err := in.callValue(b.value, args, Position{})
 	if err != nil {
 		return nil, in.publicError(err)

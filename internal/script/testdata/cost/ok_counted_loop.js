@@ -1,0 +1,24 @@
+// expect: none
+// Counted loops with constant bounds, including nesting and non-unit
+// steps, all get closed-form iteration counts.
+var window = [];
+function event_received(message) {
+  var sum = 0;
+  for (var i = 0; i < 16; i++) {
+    sum += i;
+  }
+  for (var j = 100; j >= 0; j -= 5) {
+    sum += j;
+  }
+  for (var a = 0; a < 4; a++) {
+    for (var b = 0; b < 4; b++) {
+      sum += a * b;
+    }
+  }
+  push(window, sum);
+  if (len(window) > 8) {
+    shift(window);
+  }
+  metric("sum", sum);
+  frame_done();
+}

@@ -1,0 +1,20 @@
+// expect: none
+// for-of over literals, range(K) and keys of an object literal all have
+// statically known lengths.
+function event_received(message) {
+  var total = 0;
+  for (x of [1, 2, 3, 4]) {
+    total += x;
+  }
+  for (i of range(10)) {
+    total += i;
+  }
+  for (k of keys({a: 1, b: 2})) {
+    log(k, total);
+  }
+  for (c of "abc") {
+    log(c);
+  }
+  metric("total", total);
+  frame_done();
+}

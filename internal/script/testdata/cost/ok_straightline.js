@@ -1,0 +1,20 @@
+// expect: none
+// Straight-line handler with helper calls, branches and host calls: fully
+// boundable.
+var count = 0;
+function classify(r) {
+  if (r.found && r.confidence > 0.5) {
+    return r.pose;
+  }
+  return "unknown";
+}
+function event_received(message) {
+  count++;
+  var r = call_service("pose_detector", {frame_ref: message.frame_ref});
+  var label = classify(r);
+  if (label == "unknown") {
+    frame_done();
+    return;
+  }
+  call_module("sink", {frame_ref: message.frame_ref, pose: label, seq: count});
+}

@@ -1,0 +1,10 @@
+// expect: PV012
+// A counted for loop whose bound is a runtime value cannot be priced.
+function event_received(message) {
+  var total = 0;
+  for (var i = 0; i < message.count; i++) {
+    total += i;
+  }
+  metric("total", total);
+  frame_done();
+}

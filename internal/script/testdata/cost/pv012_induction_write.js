@@ -1,0 +1,11 @@
+// expect: PV012
+// Writing the induction variable inside the body defeats the closed-form
+// iteration count even though init/cond/post look counted.
+function event_received(message) {
+  for (var i = 0; i < 10; i++) {
+    if (message.skip) {
+      i = i - 1;
+    }
+  }
+  frame_done();
+}

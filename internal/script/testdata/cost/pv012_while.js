@@ -1,0 +1,11 @@
+// expect: PV012
+// A while loop whose condition depends on runtime data has no statically
+// inferable iteration bound.
+var pending = 0;
+function event_received(message) {
+  pending = message.count;
+  while (pending > 0) {
+    pending--;
+  }
+  frame_done();
+}

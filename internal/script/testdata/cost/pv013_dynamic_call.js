@@ -1,0 +1,10 @@
+// expect: PV013
+// Calling through a local function value is a dynamic call the analysis
+// cannot resolve to a bounded body.
+function event_received(message) {
+  var op = message.heavy ? heavy : light;
+  op(message);
+  frame_done();
+}
+function heavy(message) { call_service("detector", {frame_ref: message.frame_ref}); }
+function light(message) { log(message.seq); }

@@ -1,0 +1,11 @@
+// expect: PV013
+// Mutual recursion is a call-graph cycle: unboundable.
+function even(n) { if (n == 0) { return true; } return odd(n - 1); }
+function odd(n) { if (n == 0) { return false; } return even(n - 1); }
+function event_received(message) {
+  if (even(message.seq)) {
+    frame_done();
+    return;
+  }
+  call_module("sink", {seq: message.seq});
+}

@@ -1,0 +1,12 @@
+// expect: PV013
+// Direct recursion makes the handler's worst-case cost unboundable.
+function countdown(n) {
+  if (n <= 0) {
+    return 0;
+  }
+  return countdown(n - 1);
+}
+function event_received(message) {
+  metric("depth", countdown(message.seq));
+  frame_done();
+}

@@ -83,6 +83,9 @@ type (
 	// estimate from the cluster's link profiles (the paper's "scheduling"
 	// future work).
 	LatencyAwarePlanner = core.LatencyAwarePlanner
+	// CostAwarePlanner weights serviceless-module placement and credit
+	// selection by the pipecost static worst-case handler costs.
+	CostAwarePlanner = core.CostAwarePlanner
 
 	// Monitor observes pipelines and services: progress, stalls, module
 	// errors, pool utilization (the paper's "monitoring" future work).
@@ -97,6 +100,11 @@ type (
 	AnalysisError = core.AnalysisError
 	// Severity ranks analyzer diagnostics (errors reject, warnings log).
 	Severity = script.Severity
+	// CostReport is the pipecost result for one module: sound worst-case
+	// instruction and allocation bounds per event handler.
+	CostReport = script.CostReport
+	// HandlerCost is one entry of a CostReport.
+	HandlerCost = script.HandlerCost
 
 	// ServiceRegistry catalogues deployable services.
 	ServiceRegistry = services.Registry
@@ -224,3 +232,10 @@ func AnalyzePipeline(cfg *PipelineConfig) []Diagnostic { return core.AnalyzePipe
 // AnalyzeScript runs only the script-level pipevet checks over a single
 // PipeScript module source, without pipeline cross-checks.
 func AnalyzeScript(src string) []Diagnostic { return core.AnalyzeModuleSource(src) }
+
+// AnalyzeCost runs only the pipecost static cost analysis over a single
+// PipeScript module source: a sound worst-case instruction bound and
+// allocation bound per event handler, validated against the interpreter's
+// per-event instruction counter (the `script.<module>.instructions`
+// meter).
+func AnalyzeCost(src string) CostReport { return script.AnalyzeCost(src) }
