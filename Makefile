@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet meters lint check test race cover alloc bench chaos heal fuzz experiments examples clean
+.PHONY: all build vet meters lint check test race cover alloc bench chaos heal fuzz experiments flood floodgate examples clean
 
 all: build vet test
 
@@ -87,6 +87,20 @@ bench:
 experiments:
 	$(GO) run ./cmd/vpbench -exp all -dur 3s
 
+# Saturation sweeps over every workload mix: open-loop knee finding with
+# the canonical windows (EXPERIMENTS.md X4). Writes BENCH_flood.json.
+flood:
+	$(GO) run ./cmd/vpflood -sweep -mix all -dur 3s -out BENCH_flood.json
+
+# Throughput-regression gate: a fresh sweep diffed against the checked-in
+# baseline. Fails when any mix's knee drifts past the tolerance or the
+# knee-step p99 blows the absolute budget. Override FLOOD_TOLERANCE for
+# noisier machines (CI uses 0.5).
+FLOOD_TOLERANCE ?= 0.15
+floodgate:
+	$(GO) run ./cmd/vpflood -sweep -mix all -dur 3s -out BENCH_flood.json \
+		-gate BENCH_baseline.json -tolerance $(FLOOD_TOLERANCE)
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/fitness -dur 4s
@@ -95,4 +109,4 @@ examples:
 	$(GO) run ./examples/securitycam -dur 6s
 
 clean:
-	rm -f fitness_display.png test_output.txt bench_output.txt vpbench_results.txt BENCH_results.json
+	rm -f fitness_display.png test_output.txt bench_output.txt vpbench_results.txt BENCH_results.json BENCH_flood.json

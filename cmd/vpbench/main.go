@@ -25,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"videopipe/internal/benchio"
 	"videopipe/internal/experiments"
 	"videopipe/internal/metrics"
 	"videopipe/internal/services"
@@ -74,7 +75,7 @@ func run(exp string, dur time.Duration, scene string, seed int64, out string, su
 		opts.Registry = reg
 	}
 
-	report := &benchReport{
+	report := &benchio.Report{
 		GeneratedAt: time.Now().UTC(),
 		Scene:       scene,
 		WindowMS:    float64(dur) / float64(time.Millisecond),
@@ -85,23 +86,23 @@ func run(exp string, dur time.Duration, scene string, seed int64, out string, su
 	ran := false
 	dispatch := []struct {
 		name string
-		fn   func(experiments.Options, *benchEntry) error
+		fn   func(experiments.Options, *benchio.Entry) error
 	}{
 		{"fig6", runFig6},
 		{"table2", runTable2},
-		{"activity", func(o experiments.Options, e *benchEntry) error { return runActivity(seed, e) }},
-		{"repcount", func(o experiments.Options, e *benchEntry) error { return runRepCount(seed, e) }},
+		{"activity", func(o experiments.Options, e *benchio.Entry) error { return runActivity(seed, e) }},
+		{"repcount", func(o experiments.Options, e *benchio.Entry) error { return runRepCount(seed, e) }},
 		{"scaleout", runScaleOut},
 		{"queueing", runQueueing},
 		{"codec", runCodec},
 		{"broker", runBroker},
 		{"workers", runWorkers},
 		{"planners", runPlanners},
-		{"chaos", func(o experiments.Options, e *benchEntry) error { return runChaos(o, seed, e) }},
+		{"chaos", func(o experiments.Options, e *benchio.Entry) error { return runChaos(o, seed, e) }},
 	}
 	for _, d := range dispatch {
 		if all || exp == d.name {
-			err := report.measure(d.name, func(e *benchEntry) error { return d.fn(opts, e) })
+			err := report.Measure(d.name, func(e *benchio.Entry) error { return d.fn(opts, e) })
 			if err != nil {
 				return fmt.Errorf("%s: %w", d.name, err)
 			}
@@ -112,7 +113,10 @@ func run(exp string, dur time.Duration, scene string, seed int64, out string, su
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	if out != "" {
-		return report.write(out)
+		if err := report.Write(out); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d experiments)\n", out, len(report.Experiments))
 	}
 	return nil
 }
@@ -121,7 +125,7 @@ func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
 }
 
-func runFig6(o experiments.Options, e *benchEntry) error {
+func runFig6(o experiments.Options, e *benchio.Entry) error {
 	header("Fig. 6 — per-stage latency, fitness pipeline @ 10 FPS source")
 	res, err := experiments.Fig6(o)
 	if err != nil {
@@ -130,15 +134,15 @@ func runFig6(o experiments.Options, e *benchEntry) error {
 	fmt.Print(res.Table())
 	fmt.Println("(paper shape: VideoPipe below baseline on pose and total; pose dominates the gap)")
 	for stage, d := range res.VideoPipe {
-		e.setDurationMS("videopipe."+stage+"_ms", d)
+		e.SetDurationMS("videopipe."+stage+"_ms", d)
 	}
 	for stage, d := range res.Baseline {
-		e.setDurationMS("baseline."+stage+"_ms", d)
+		e.SetDurationMS("baseline."+stage+"_ms", d)
 	}
 	return nil
 }
 
-func runTable2(o experiments.Options, e *benchEntry) error {
+func runTable2(o experiments.Options, e *benchio.Entry) error {
 	header("Table 2 — end-to-end FPS vs source FPS")
 	rows, err := experiments.Table2(o, nil, nil)
 	if err != nil {
@@ -149,17 +153,17 @@ func runTable2(o experiments.Options, e *benchEntry) error {
 	fmt.Println(" shared pipelines match solo rates until ~20, then contention caps each lower)")
 	for _, r := range rows {
 		src := fmt.Sprintf("%g", r.SourceFPS)
-		e.set("videopipe_fps_"+src, r.VideoPipe)
-		e.set("baseline_fps_"+src, r.Baseline)
+		e.Set("videopipe_fps_"+src, r.VideoPipe)
+		e.Set("baseline_fps_"+src, r.Baseline)
 		if r.HasShared {
-			e.set("shared_fitness_fps_"+src, r.Shared[0])
-			e.set("shared_gesture_fps_"+src, r.Shared[1])
+			e.Set("shared_fitness_fps_"+src, r.Shared[0])
+			e.Set("shared_gesture_fps_"+src, r.Shared[1])
 		}
 	}
 	return nil
 }
 
-func runActivity(seed int64, e *benchEntry) error {
+func runActivity(seed int64, e *benchio.Entry) error {
 	header("§4.1.2 — activity recognition accuracy (withheld test set)")
 	res, err := experiments.ActivityAccuracy(seed)
 	if err != nil {
@@ -168,13 +172,13 @@ func runActivity(seed int64, e *benchEntry) error {
 	fmt.Printf("accuracy: %.1f%% over %d test windows (trained on %d)\n",
 		res.Accuracy*100, res.TestN, res.TrainN)
 	fmt.Println("(paper reports: above 90%)")
-	e.set("accuracy", res.Accuracy)
-	e.set("test_n", float64(res.TestN))
-	e.set("train_n", float64(res.TrainN))
+	e.Set("accuracy", res.Accuracy)
+	e.Set("test_n", float64(res.TestN))
+	e.Set("train_n", float64(res.TrainN))
 	return nil
 }
 
-func runRepCount(seed int64, e *benchEntry) error {
+func runRepCount(seed int64, e *benchio.Entry) error {
 	header("§4.1.3 — rep counting accuracy (withheld test set)")
 	trials, mean, err := experiments.RepCountingAccuracy(24, seed)
 	if err != nil {
@@ -186,12 +190,12 @@ func runRepCount(seed int64, e *benchEntry) error {
 	}
 	fmt.Printf("mean accuracy: %.1f%% over %d trials\n", mean*100, len(trials))
 	fmt.Println("(paper reports: 83.3%)")
-	e.set("mean_accuracy", mean)
-	e.set("trials", float64(len(trials)))
+	e.Set("mean_accuracy", mean)
+	e.Set("trials", float64(len(trials)))
 	return nil
 }
 
-func runScaleOut(o experiments.Options, e *benchEntry) error {
+func runScaleOut(o experiments.Options, e *benchio.Entry) error {
 	header("§5.2.2 — scaling out the saturated pose service")
 	res, err := experiments.ScaleOut(o)
 	if err != nil {
@@ -200,14 +204,14 @@ func runScaleOut(o experiments.Options, e *benchEntry) error {
 	fmt.Printf("1 instance:  fitness %.2f fps, gesture %.2f fps\n", res.Before[0], res.Before[1])
 	fmt.Printf("2 instances: fitness %.2f fps, gesture %.2f fps\n", res.After[0], res.After[1])
 	fmt.Println("(expected: scaling the stateless service restores per-pipeline rates)")
-	e.set("before_fitness_fps", res.Before[0])
-	e.set("before_gesture_fps", res.Before[1])
-	e.set("after_fitness_fps", res.After[0])
-	e.set("after_gesture_fps", res.After[1])
+	e.Set("before_fitness_fps", res.Before[0])
+	e.Set("before_gesture_fps", res.Before[1])
+	e.Set("after_fitness_fps", res.After[0])
+	e.Set("after_gesture_fps", res.After[1])
 	return nil
 }
 
-func runQueueing(o experiments.Options, e *benchEntry) error {
+func runQueueing(o experiments.Options, e *benchio.Entry) error {
 	header("Ablation — queue-free flow control vs deeper admission")
 	points, err := experiments.AblationQueueing(o, nil)
 	if err != nil {
@@ -217,14 +221,14 @@ func runQueueing(o experiments.Options, e *benchEntry) error {
 	for _, p := range points {
 		fmt.Printf("%-8d %10.2f %12s\n", p.Credits, p.FPS, p.E2EMean.Round(time.Millisecond))
 		key := fmt.Sprintf("credits_%d", p.Credits)
-		e.set(key+"_fps", p.FPS)
-		e.setDurationMS(key+"_e2e_ms", p.E2EMean)
+		e.Set(key+"_fps", p.FPS)
+		e.SetDurationMS(key+"_e2e_ms", p.E2EMean)
 	}
 	fmt.Println("(expected: FPS flat beyond 2 credits while latency keeps rising)")
 	return nil
 }
 
-func runCodec(o experiments.Options, e *benchEntry) error {
+func runCodec(o experiments.Options, e *benchio.Entry) error {
 	header("Ablation — JPEG vs raw frame transfer")
 	res, err := experiments.AblationCodec(o)
 	if err != nil {
@@ -232,14 +236,14 @@ func runCodec(o experiments.Options, e *benchEntry) error {
 	}
 	fmt.Printf("jpeg: %6.2f fps, e2e %v\n", res.JPEGFPS, res.JPEGE2E.Round(time.Millisecond))
 	fmt.Printf("raw:  %6.2f fps, e2e %v\n", res.RawFPS, res.RawE2E.Round(time.Millisecond))
-	e.set("jpeg_fps", res.JPEGFPS)
-	e.setDurationMS("jpeg_e2e_ms", res.JPEGE2E)
-	e.set("raw_fps", res.RawFPS)
-	e.setDurationMS("raw_e2e_ms", res.RawE2E)
+	e.Set("jpeg_fps", res.JPEGFPS)
+	e.SetDurationMS("jpeg_e2e_ms", res.JPEGE2E)
+	e.Set("raw_fps", res.RawFPS)
+	e.SetDurationMS("raw_e2e_ms", res.RawE2E)
 	return nil
 }
 
-func runBroker(o experiments.Options, e *benchEntry) error {
+func runBroker(o experiments.Options, e *benchio.Entry) error {
 	header("Ablation — brokerless transfer vs broker hop (§3.2)")
 	res, err := experiments.AblationBroker(o)
 	if err != nil {
@@ -247,14 +251,14 @@ func runBroker(o experiments.Options, e *benchEntry) error {
 	}
 	fmt.Printf("direct:   %6.2f fps, e2e %v\n", res.DirectFPS, res.DirectE2E.Round(time.Millisecond))
 	fmt.Printf("brokered: %6.2f fps, e2e %v\n", res.BrokerFPS, res.BrokerE2E.Round(time.Millisecond))
-	e.set("direct_fps", res.DirectFPS)
-	e.setDurationMS("direct_e2e_ms", res.DirectE2E)
-	e.set("broker_fps", res.BrokerFPS)
-	e.setDurationMS("broker_e2e_ms", res.BrokerE2E)
+	e.Set("direct_fps", res.DirectFPS)
+	e.SetDurationMS("direct_e2e_ms", res.DirectE2E)
+	e.Set("broker_fps", res.BrokerFPS)
+	e.SetDurationMS("broker_e2e_ms", res.BrokerE2E)
 	return nil
 }
 
-func runPlanners(o experiments.Options, e *benchEntry) error {
+func runPlanners(o experiments.Options, e *benchio.Entry) error {
 	header("Extension — placement strategies compared (fitness @ 20 FPS)")
 	points, err := experiments.ComparePlanners(o)
 	if err != nil {
@@ -263,14 +267,14 @@ func runPlanners(o experiments.Options, e *benchEntry) error {
 	fmt.Printf("%-16s %10s %12s\n", "planner", "FPS", "e2e mean")
 	for _, p := range points {
 		fmt.Printf("%-16s %10.2f %12s\n", p.Planner, p.FPS, p.E2EMean.Round(time.Millisecond))
-		e.set(p.Planner+"_fps", p.FPS)
-		e.setDurationMS(p.Planner+"_e2e_ms", p.E2EMean)
+		e.Set(p.Planner+"_fps", p.FPS)
+		e.SetDurationMS(p.Planner+"_e2e_ms", p.E2EMean)
 	}
 	fmt.Println("(expected: latency-aware derives the co-located plan; both beat the baseline)")
 	return nil
 }
 
-func runChaos(o experiments.Options, seed int64, e *benchEntry) error {
+func runChaos(o experiments.Options, seed int64, e *benchio.Entry) error {
 	if o.Supervise {
 		header("Resilience — supervised fault injection and self-healing recovery")
 	} else {
@@ -287,12 +291,12 @@ func runChaos(o experiments.Options, seed int64, e *benchEntry) error {
 	fmt.Print(experiments.FormatChaos(rows, seed))
 	for _, r := range rows {
 		fmt.Printf("\n%s schedule:\n%s\n", r.Scenario, r.Fingerprint)
-		e.set(r.Scenario+"_pre_fps", r.PreFPS)
-		e.set(r.Scenario+"_during_fps", r.DuringFPS)
-		e.set(r.Scenario+"_post_fps", r.PostFPS)
-		e.setDurationMS(r.Scenario+"_recovery_ms", r.Recovery)
+		e.Set(r.Scenario+"_pre_fps", r.PreFPS)
+		e.Set(r.Scenario+"_during_fps", r.DuringFPS)
+		e.Set(r.Scenario+"_post_fps", r.PostFPS)
+		e.SetDurationMS(r.Scenario+"_recovery_ms", r.Recovery)
 		if o.Supervise {
-			e.set(r.Scenario+"_recovery_actions", float64(len(r.Journal)))
+			e.Set(r.Scenario+"_recovery_actions", float64(len(r.Journal)))
 		}
 	}
 	if o.Supervise {
@@ -303,7 +307,7 @@ func runChaos(o experiments.Options, seed int64, e *benchEntry) error {
 	return nil
 }
 
-func runWorkers(o experiments.Options, e *benchEntry) error {
+func runWorkers(o experiments.Options, e *benchio.Entry) error {
 	header("Ablation — pose service worker concurrency under shared load")
 	points, err := experiments.AblationWorkers(o, nil)
 	if err != nil {
@@ -313,9 +317,9 @@ func runWorkers(o experiments.Options, e *benchEntry) error {
 	for _, p := range points {
 		fmt.Printf("%-8d %10.2f %10.2f %10.2f\n", p.Workers, p.Fitness, p.Gesture, p.Aggregate)
 		key := fmt.Sprintf("workers_%d", p.Workers)
-		e.set(key+"_fitness_fps", p.Fitness)
-		e.set(key+"_gesture_fps", p.Gesture)
-		e.set(key+"_aggregate_fps", p.Aggregate)
+		e.Set(key+"_fitness_fps", p.Fitness)
+		e.Set(key+"_gesture_fps", p.Gesture)
+		e.Set(key+"_aggregate_fps", p.Aggregate)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"videopipe/internal/benchio"
+
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -34,7 +36,7 @@ func TestRunWritesReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("report not written: %v", err)
 	}
-	var rep benchReport
+	var rep benchio.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
@@ -58,19 +60,19 @@ func TestRunWritesReport(t *testing.T) {
 // TestValidateKeys pins the registry gate on -out: a report carrying a
 // key outside the generated meter registry must refuse to write.
 func TestValidateKeys(t *testing.T) {
-	rep := &benchReport{}
-	good := &benchEntry{Name: "activity"}
-	good.set("accuracy", 0.9)
-	good.set("trials", 10)
+	rep := &benchio.Report{}
+	good := &benchio.Entry{Name: "activity"}
+	good.Set("accuracy", 0.9)
+	good.Set("trials", 10)
 	rep.Experiments = append(rep.Experiments, good)
-	if err := rep.validateKeys(); err != nil {
+	if err := rep.ValidateKeys(); err != nil {
 		t.Fatalf("registered keys rejected: %v", err)
 	}
 
-	bad := &benchEntry{Name: "rogue"}
-	bad.set("accurracy", 0.9) //vpvet:allow metername deliberate typo exercising the runtime gate
+	bad := &benchio.Entry{Name: "rogue"}
+	bad.Set("accurracy", 0.9) //vpvet:allow metername deliberate typo exercising the runtime gate
 	rep.Experiments = append(rep.Experiments, bad)
-	err := rep.validateKeys()
+	err := rep.ValidateKeys()
 	if err == nil {
 		t.Fatal("unregistered key accepted")
 	}
@@ -80,7 +82,7 @@ func TestValidateKeys(t *testing.T) {
 		}
 	}
 	out := filepath.Join(t.TempDir(), "BENCH_results.json")
-	if werr := rep.write(out); werr == nil {
+	if werr := rep.Write(out); werr == nil {
 		t.Fatal("write succeeded with an unregistered key")
 	}
 	if _, serr := os.Stat(out); serr == nil {

@@ -1,0 +1,245 @@
+// Command vpflood is the open-loop saturation harness: it floods fleets
+// of pipelines with a seeded arrival schedule, reports latency
+// percentiles and achieved-vs-offered throughput, and sweeps offered rate
+// up a geometric ladder until the latency knee appears.
+//
+// Usage:
+//
+//	vpflood -mix pose -rate 5                 # one run at a fixed rate
+//	vpflood -sweep -mix all                   # knee-finding sweeps, all mixes
+//	vpflood -sweep -gate BENCH_baseline.json  # sweep, then regression-gate
+//
+// Mixes: pose (fitness pipelines), multistage (fitness/gesture/fall
+// rotation), scripted (pure-PipeScript stages, no services), all.
+//
+// Sweeps write one BENCH_results.json row per ladder step plus a
+// per-mix knee summary (-out); every metric key is validated against the
+// generated meter registry, like vpbench. With -gate, the fresh knee
+// entries are diffed against a checked-in baseline report: the build
+// fails when knee throughput drifts past -tolerance or p99 exceeds
+// -p99budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"videopipe/internal/benchio"
+	"videopipe/internal/experiments"
+	"videopipe/internal/flood"
+	"videopipe/internal/metrics"
+)
+
+func main() {
+	var (
+		mix       = flag.String("mix", "pose", "workload mix: pose|multistage|scripted|all")
+		pipelines = flag.Int("pipelines", 4, "concurrent pipelines per run")
+		rate      = flag.Float64("rate", 5, "offered events/sec per pipeline (single-run mode)")
+		dur       = flag.Duration("dur", 3*time.Second, "injection window per run")
+		process   = flag.String("process", "poisson", "inter-arrival process: poisson|uniform")
+		seed      = flag.Int64("seed", 1, "schedule seed; same seed, byte-identical schedules")
+		sweep     = flag.Bool("sweep", false, "step offered rate up a ladder until the latency knee")
+		start     = flag.Float64("start", 1, "sweep: first per-pipeline rate (events/sec)")
+		factor    = flag.Float64("factor", 2, "sweep: rate multiplier between steps")
+		maxsteps  = flag.Int("maxsteps", 8, "sweep: maximum ladder steps")
+		p99budget = flag.Duration("p99budget", 250*time.Millisecond, "sweep stop / gate: end-to-end p99 ceiling")
+		minach    = flag.Float64("minachieved", 0.95, "sweep stop: minimum achieved/offered fraction")
+		out       = flag.String("out", "BENCH_results.json", "machine-readable report path (empty disables)")
+		gate      = flag.String("gate", "", "baseline report to regression-gate a sweep against (implies -sweep)")
+		tolerance = flag.Float64("tolerance", 0.15, "gate: allowed relative knee_eps drift")
+	)
+	flag.Parse()
+
+	// Fail fast: report keys are validated against the generated meter
+	// registry at write time; an empty registry would only surface after
+	// the sweeps finish.
+	if *out != "" && len(metrics.MeterNamePatterns) == 0 {
+		fmt.Fprintln(os.Stderr, "vpflood: meter-name registry is empty; regenerate internal/metrics/names.go with `make meters`")
+		os.Exit(2)
+	}
+
+	err := run(config{
+		mix:       *mix,
+		pipelines: *pipelines,
+		rate:      *rate,
+		dur:       *dur,
+		process:   *process,
+		seed:      *seed,
+		sweep:     *sweep || *gate != "",
+		start:     *start,
+		factor:    *factor,
+		maxsteps:  *maxsteps,
+		p99budget: *p99budget,
+		minach:    *minach,
+		out:       *out,
+		gate:      *gate,
+		tolerance: *tolerance,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpflood:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	mix       string
+	pipelines int
+	rate      float64
+	dur       time.Duration
+	process   string
+	seed      int64
+	sweep     bool
+	start     float64
+	factor    float64
+	maxsteps  int
+	p99budget time.Duration
+	minach    float64
+	out       string
+	gate      string
+	tolerance float64
+}
+
+func (c config) mixes() ([]experiments.FloodMix, error) {
+	if c.mix == "all" {
+		return experiments.FloodMixes(), nil
+	}
+	m := experiments.FloodMix(c.mix)
+	if _, err := experiments.FloodScenarioFor(m); err != nil {
+		return nil, err
+	}
+	return []experiments.FloodMix{m}, nil
+}
+
+func run(c config) error {
+	proc, err := flood.ParseProcess(c.process)
+	if err != nil {
+		return err
+	}
+	mixes, err := c.mixes()
+	if err != nil {
+		return err
+	}
+	report := &benchio.Report{
+		GeneratedAt: time.Now().UTC(),
+		WindowMS:    float64(c.dur) / float64(time.Millisecond),
+		Seed:        c.seed,
+	}
+	base := flood.Options{
+		Pipelines: c.pipelines,
+		Horizon:   c.dur,
+		Process:   proc,
+		Seed:      c.seed,
+	}
+	for _, m := range mixes {
+		sc, err := experiments.FloodScenarioFor(m)
+		if err != nil {
+			return err
+		}
+		if c.sweep {
+			if err := runSweep(report, sc, base, c); err != nil {
+				return err
+			}
+		} else {
+			if err := runSingle(report, sc, base, c); err != nil {
+				return err
+			}
+		}
+	}
+	if c.out != "" {
+		if err := report.Write(c.out); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d entries)\n", c.out, len(report.Experiments))
+	}
+	if c.gate != "" {
+		baseline, err := benchio.Read(c.gate)
+		if err != nil {
+			return err
+		}
+		diff, gerr := flood.Gate(baseline, report, flood.GateOptions{
+			Tolerance: c.tolerance,
+			P99Budget: c.p99budget,
+		})
+		fmt.Printf("\nregression gate vs %s:\n%s", c.gate, diff)
+		if gerr != nil {
+			return gerr
+		}
+		fmt.Println("gate: ok")
+	}
+	return nil
+}
+
+func runSingle(report *benchio.Report, sc experiments.FloodScenario, base flood.Options, c config) error {
+	base.Rate = c.rate
+	fmt.Printf("== %s: %d pipelines x %.3g eps (%s, %v, seed %d)\n",
+		sc.Mix, base.Pipelines, base.Rate, base.Process, base.Horizon, base.Seed)
+	return report.Measure(string(sc.Mix)+"_run", func(e *benchio.Entry) error {
+		res, err := flood.Run(sc, base)
+		if err != nil {
+			return err
+		}
+		recordRun(e, base.Rate, res)
+		fmt.Print(formatRun(res))
+		return nil
+	})
+}
+
+func runSweep(report *benchio.Report, sc experiments.FloodScenario, base flood.Options, c config) error {
+	fmt.Printf("== %s: sweeping %d pipelines from %.3g eps x%.3g (%s, %v/step, seed %d)\n",
+		sc.Mix, base.Pipelines, c.start, c.factor, base.Process, base.Horizon, base.Seed)
+	sw, err := flood.Sweep(sc, flood.SweepOptions{
+		Base:        base,
+		StartRate:   c.start,
+		Factor:      c.factor,
+		MaxSteps:    c.maxsteps,
+		P99Budget:   c.p99budget,
+		MinAchieved: c.minach,
+	})
+	if err != nil {
+		return err
+	}
+	kneeP99 := time.Duration(0)
+	for i, st := range sw.Steps {
+		e := &benchio.Entry{Name: fmt.Sprintf("%s_step%d", sc.Mix, i)}
+		recordRun(e, st.Rate, st.Result)
+		report.Experiments = append(report.Experiments, e)
+		fmt.Printf("  step %d: offered %7.2f eps  achieved %7.2f eps  p99 %v  drops %d\n",
+			i, st.Result.OfferedEPS, st.Result.AchievedEPS, st.Result.E2E.P99, st.Result.DroppedSource)
+		if st.Result.AchievedEPS == sw.KneeEPS {
+			kneeP99 = st.Result.E2E.P99
+		}
+	}
+	knee := &benchio.Entry{Name: string(sc.Mix) + "_knee"}
+	knee.Set("knee_eps", sw.KneeEPS)
+	knee.Set("steps", float64(len(sw.Steps)))
+	knee.SetDurationMS("p99_ms", kneeP99)
+	report.Experiments = append(report.Experiments, knee)
+	fmt.Printf("  knee: %.2f eps aggregate (%s)\n", sw.KneeEPS, sw.StopReason)
+	return nil
+}
+
+// recordRun writes one run's metrics onto a report entry. Keys are
+// literal so the metername analyzer registers and checks them.
+func recordRun(e *benchio.Entry, ratePerPipeline float64, r flood.Result) {
+	e.Set("pipelines", float64(r.Pipelines))
+	e.Set("rate_per_pipeline_eps", ratePerPipeline)
+	e.Set("offered_eps", r.OfferedEPS)
+	e.Set("achieved_eps", r.AchievedEPS)
+	e.Set("delivered", float64(r.Delivered))
+	e.Set("dropped_source", float64(r.DroppedSource))
+	e.SetDurationMS("p50_ms", r.E2E.P50)
+	e.SetDurationMS("p95_ms", r.E2E.P95)
+	e.SetDurationMS("p99_ms", r.E2E.P99)
+	e.SetDurationMS("p999_ms", r.E2E.P999)
+	e.SetDurationMS("gen_lateness_p99_ms", r.GenLateness.P99)
+}
+
+func formatRun(r flood.Result) string {
+	return fmt.Sprintf(
+		"  offered %.2f eps (%d events)  achieved %.2f eps  admitted %d  dropped %d\n"+
+			"  e2e p50 %v  p95 %v  p99 %v  p99.9 %v  (gen lateness p99 %v)\n",
+		r.OfferedEPS, r.Offered, r.AchievedEPS, r.Admitted, r.DroppedSource,
+		r.E2E.P50, r.E2E.P95, r.E2E.P99, r.E2E.P999, r.GenLateness.P99)
+}

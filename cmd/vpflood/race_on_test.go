@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that the race detector is active: instrumentation
+// slows the service and interpreter paths enough that latency-shape
+// assertions against absolute budgets stop measuring the system.
+const raceEnabled = true

@@ -1,0 +1,148 @@
+// Package benchio is the shared reader/writer for BENCH_results.json —
+// the machine-readable benchmark document vpbench (paper experiments) and
+// vpflood (saturation sweeps) both emit and the floodgate regression gate
+// consumes. One Report holds a list of Entries (one per experiment or
+// sweep step: flat metric key -> number, plus wall time and heap
+// allocation cost) and a snapshot of the data-plane counters.
+//
+// Every metric key written through Entry.Set is held to the generated
+// meter-name registry (internal/metrics/names.go), statically by the
+// metername analyzer (internal/golint) and at Write time by
+// Report.ValidateKeys, so benchmark output can never carry a name the
+// rest of the system (tests, the monitor, EXPERIMENTS.md tooling, CI
+// gates) does not know.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"videopipe/internal/frame"
+	"videopipe/internal/metrics"
+	"videopipe/internal/wire"
+)
+
+// Entry is one experiment's (or sweep step's) machine-readable record:
+// what it measured plus what it cost to run.
+type Entry struct {
+	Name       string             `json:"name"`
+	DurationMS float64            `json:"duration_ms"`
+	AllocBytes uint64             `json:"alloc_bytes"`
+	Mallocs    uint64             `json:"mallocs"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Set records one named measurement on the entry.
+func (e *Entry) Set(key string, v float64) {
+	if e.Metrics == nil {
+		e.Metrics = make(map[string]float64)
+	}
+	e.Metrics[key] = v
+}
+
+// SetDurationMS records a latency measurement in milliseconds.
+func (e *Entry) SetDurationMS(key string, d time.Duration) {
+	//vpvet:allow metername pass-through; the literal key is checked at SetDurationMS call sites
+	e.Set(key, float64(d)/float64(time.Millisecond))
+}
+
+// Report is the BENCH_results.json document.
+type Report struct {
+	GeneratedAt time.Time         `json:"generated_at"`
+	Scene       string            `json:"scene,omitempty"`
+	WindowMS    float64           `json:"window_ms"`
+	Seed        int64             `json:"seed"`
+	Experiments []*Entry          `json:"experiments"`
+	Counters    map[string]uint64 `json:"counters"`
+}
+
+// Measure runs fn as one experiment, capturing wall time and the heap
+// allocation delta around it, and appends the entry on success.
+func (r *Report) Measure(name string, fn func(e *Entry) error) error {
+	e := &Entry{Name: name}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn(e)
+	e.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	runtime.ReadMemStats(&after)
+	e.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	e.Mallocs = after.Mallocs - before.Mallocs
+	if err != nil {
+		return err
+	}
+	r.Experiments = append(r.Experiments, e)
+	return nil
+}
+
+// Entry returns the named experiment entry, or nil when absent.
+func (r *Report) Entry(name string) *Entry {
+	for _, e := range r.Experiments {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// ValidateKeys checks every experiment's metric keys against the
+// generated meter registry (internal/metrics/names.go). The metername
+// analyzer already proves the literal parts of each key at build time;
+// this is the runtime backstop for the dynamically-assembled ones.
+func (r *Report) ValidateKeys() error {
+	var bad []string
+	for _, e := range r.Experiments {
+		for key := range e.Metrics {
+			if !metrics.KnownMetricName(key) {
+				bad = append(bad, fmt.Sprintf("%s: %q", e.Name, key))
+			}
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("unregistered metric key(s) in benchmark output (regenerate the registry with `make meters` if intentional):\n  %s",
+		strings.Join(bad, "\n  "))
+}
+
+// Write validates the metric keys, snapshots the data-plane counters and
+// writes the report to path.
+func (r *Report) Write(path string) error {
+	if err := r.ValidateKeys(); err != nil {
+		return err
+	}
+	hits, misses := frame.PoolStats()
+	r.Counters = map[string]uint64{
+		"frame.pool.hit":    hits,
+		"frame.pool.miss":   misses,
+		"wire.bytes_copied": wire.BytesCopied(),
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	return nil
+}
+
+// Read parses a report document from disk — the gate's input path.
+func Read(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse report %s: %w", path, err)
+	}
+	return &r, nil
+}

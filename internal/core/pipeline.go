@@ -136,6 +136,14 @@ func (c *Cluster) Launch(cfg PipelineConfig, planner Planner) (*Pipeline, error)
 	return p, nil
 }
 
+// SourceRenderer builds the synthetic-camera renderer the pipeline's own
+// source would use for sc — exported for the flood harness, which paces
+// frame injection itself (via Offer) but must render frames exactly as
+// Run would, so flooded and source-driven pipelines see the same scenes.
+func SourceRenderer(sc SourceConfig) (frame.Renderer, error) {
+	return sceneRenderer(sc)
+}
+
 func sceneRenderer(sc SourceConfig) (frame.Renderer, error) {
 	if sc.Scene == "" {
 		return frame.SolidRenderer(sc.Width, sc.Height, backgroundGray), nil
@@ -278,20 +286,12 @@ func (p *Pipeline) Run(ctx context.Context, d time.Duration) (RunResult, error) 
 		p.mu.Unlock()
 	}()
 
-	// Fill the credit pool.
-	for {
-		select {
-		case p.credits <- struct{}{}:
-			continue
-		default:
-		}
-		break
-	}
+	p.PrimeCredits()
 
 	runCtx, cancel := context.WithTimeout(ctx, d)
 	defer cancel()
 	start := time.Now()
-	err := p.source.Run(runCtx, p.emit)
+	err := p.source.Run(runCtx, p.Offer)
 	elapsed := time.Since(start)
 	if err != nil {
 		return RunResult{}, err
@@ -301,10 +301,29 @@ func (p *Pipeline) Run(ctx context.Context, d time.Duration) (RunResult, error) 
 	return p.collect(elapsed), nil
 }
 
-// emit is the source callback: admit the frame if a credit is available,
-// otherwise drop it at the source (§2.3: dropping happens at the beginning
-// of the pipeline, never inside it).
-func (p *Pipeline) emit(f *frame.Frame) bool {
+// PrimeCredits refills the admission pool to the plan's in-flight
+// allowance — what Run does at window start. External drivers (the
+// vpflood open-loop generator) call it once before their first Offer.
+func (p *Pipeline) PrimeCredits() {
+	for {
+		select {
+		case p.credits <- struct{}{}:
+			continue
+		default:
+		}
+		break
+	}
+}
+
+// Offer admits one captured frame if a flow-control credit is available,
+// otherwise drops it at the source (§2.3: dropping happens at the
+// beginning of the pipeline, never inside it). It is the source's emit
+// callback, and the injection path open-loop load generators
+// (internal/flood) drive in place of the built-in paced source. Offer
+// never blocks; the frame must carry Captured (end-to-end latency is
+// measured from it at the sink) and ownership transfers unconditionally —
+// a rejected frame has already been released when Offer returns false.
+func (p *Pipeline) Offer(f *frame.Frame) bool {
 	select {
 	case <-p.credits:
 	default:

@@ -9,6 +9,7 @@ import (
 	"videopipe/internal/apps"
 	"videopipe/internal/core"
 	"videopipe/internal/device"
+	"videopipe/internal/frame"
 	"videopipe/internal/netsim"
 	"videopipe/internal/services"
 	"videopipe/internal/vision"
@@ -478,5 +479,64 @@ func TestLinkProfilesAffectPlacedPipelines(t *testing.T) {
 	t.Logf("e2e wifi=%v wan=%v", wifi, wan)
 	if wan <= wifi {
 		t.Errorf("WAN e2e (%v) not slower than Wi-Fi (%v)", wan, wifi)
+	}
+}
+
+// TestOfferInjection drives a pipeline through the public Offer path —
+// the injection API open-loop load generators use instead of Run — and
+// asserts the §2.3 contract holds: Offer never blocks, admission is
+// bounded by the credit pool, rejected frames are dropped at the source,
+// and admitted frames complete with end-to-end latency recorded from
+// their Captured timestamp.
+func TestOfferInjection(t *testing.T) {
+	c := homeCluster(t)
+	p, err := c.Launch(apps.FitnessConfig("offer", 10, ""), core.CoLocatePlanner{})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+
+	p.PrimeCredits()
+	const burst = 16
+	admitted := 0
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		f, err := frame.NewPooled(apps.FrameWidth, apps.FrameHeight)
+		if err != nil {
+			t.Fatalf("NewPooled: %v", err)
+		}
+		f.Seq = uint64(i)
+		f.Captured = time.Now()
+		if p.Offer(f) {
+			admitted++
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("16 Offers took %v; Offer must not block", elapsed)
+	}
+	if admitted == 0 {
+		t.Fatal("no frame admitted from a primed credit pool")
+	}
+	if admitted == burst {
+		t.Errorf("all %d burst frames admitted; expected source-side drops once credits ran out", burst)
+	}
+
+	// Solid frames carry no subject, so pose_detection finishes them
+	// (frame_done on !found); completion is recorded under that module.
+	deadline := time.Now().Add(5 * time.Second)
+	done := func() uint64 {
+		return c.Metrics().Meter("pipeline.offer.pose_detection.frames_done").Count()
+	}
+	for done() < uint64(admitted) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := done(); got != uint64(admitted) {
+		t.Fatalf("frames_done = %d, want %d (every admitted frame must complete)", got, admitted)
+	}
+	e2e := c.Metrics().Histogram("pipeline.offer.pose_detection.e2e")
+	if got := e2e.Count(); got != uint64(admitted) {
+		t.Errorf("e2e observations = %d, want %d", got, admitted)
+	}
+	if e2e.Max() <= 0 {
+		t.Errorf("e2e latency not measured from Captured: max = %v", e2e.Max())
 	}
 }

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videopipe/internal/apps"
+	"videopipe/internal/core"
+	"videopipe/internal/device"
+	"videopipe/internal/netsim"
+	"videopipe/internal/services"
+)
+
+// ---- Flood scenarios: shared workload mixes for the saturation harness ----
+//
+// vpflood (cmd/vpflood, internal/flood) sweeps offered load against a
+// cluster until latency knees over. The mixes below are the workloads it
+// sweeps: each bundles a cluster spec, a service registry constructor and
+// a per-pipeline config builder, so the harness, its tests and
+// EXPERIMENTS.md all agree on what "pose" or "scripted" means.
+
+// FloodMix names one of the workload families the saturation harness can
+// drive.
+type FloodMix string
+
+const (
+	// MixPose floods N copies of the fitness pipeline (Fig. 4) — the
+	// paper's flagship app, dominated by the pose-detection service.
+	MixPose FloodMix = "pose"
+	// MixMultiStage rotates the three evaluation apps (fitness, gesture,
+	// fall) across pipelines, exercising heterogeneous DAG shapes and
+	// service sets competing for the same devices.
+	MixMultiStage FloodMix = "multistage"
+	// MixScripted floods pipelines whose stages are pure PipeScript
+	// counted loops with no services at all, isolating the interpreter
+	// and transport from the service tier.
+	MixScripted FloodMix = "scripted"
+)
+
+// FloodMixes lists every mix, in the order EXPERIMENTS.md tables them.
+func FloodMixes() []FloodMix {
+	return []FloodMix{MixPose, MixMultiStage, MixScripted}
+}
+
+// FloodScenario is everything the harness needs to stand up one workload:
+// the cluster to build, the registry to back it, and the config of the
+// i-th flooded pipeline.
+type FloodScenario struct {
+	// Mix is the family this scenario realises.
+	Mix FloodMix
+	// Spec is the cluster the pipelines launch onto.
+	Spec core.ClusterSpec
+	// Registry builds a fresh service registry for one cluster.
+	Registry func() (*services.Registry, error)
+	// Pipeline builds the config of pipeline i, named name. The source
+	// FPS is nominal: the flood driver injects frames itself via
+	// Pipeline.Offer and never runs the camera source.
+	Pipeline func(name string, i int) core.PipelineConfig
+}
+
+// FloodScenarioFor resolves a mix name to its scenario.
+func FloodScenarioFor(mix FloodMix) (FloodScenario, error) {
+	switch mix {
+	case MixPose:
+		return FloodScenario{
+			Mix:      MixPose,
+			Spec:     apps.HomeClusterSpec(),
+			Registry: standardFloodRegistry,
+			Pipeline: func(name string, _ int) core.PipelineConfig {
+				return apps.FitnessConfig(name, floodNominalFPS, "squat")
+			},
+		}, nil
+	case MixMultiStage:
+		return FloodScenario{
+			Mix:      MixMultiStage,
+			Spec:     apps.HomeClusterSpec(),
+			Registry: standardFloodRegistry,
+			Pipeline: func(name string, i int) core.PipelineConfig {
+				switch i % 3 {
+				case 0:
+					return apps.FitnessConfig(name, floodNominalFPS, "squat")
+				case 1:
+					return apps.GestureConfig(name, floodNominalFPS, "clap")
+				default:
+					return apps.FallConfig(name, floodNominalFPS)
+				}
+			},
+		}, nil
+	case MixScripted:
+		return FloodScenario{
+			Mix:  MixScripted,
+			Spec: scriptedClusterSpec(),
+			Registry: func() (*services.Registry, error) {
+				// No services: the mix measures the script interpreter
+				// and transport alone, and skips classifier training.
+				return services.NewRegistry(), nil
+			},
+			Pipeline: func(name string, _ int) core.PipelineConfig {
+				return scriptedConfig(name)
+			},
+		}, nil
+	}
+	return FloodScenario{}, fmt.Errorf("experiments: unknown flood mix %q (known: %v)", mix, FloodMixes())
+}
+
+// floodNominalFPS satisfies config validation; the flood driver bypasses
+// the source, so the value never paces anything.
+const floodNominalFPS = 10
+
+// standardFloodRegistry backs the service-using mixes with the
+// paper-calibrated costs, so knees land where the evaluation predicts.
+func standardFloodRegistry() (*services.Registry, error) {
+	return services.NewStandardRegistry(services.DefaultOptions())
+}
+
+// scriptedClusterSpec is a two-device cluster with no service placements:
+// the phone runs the first stage, the desktop the rest.
+func scriptedClusterSpec() core.ClusterSpec {
+	return core.ClusterSpec{
+		Devices: []device.Config{
+			{Name: "phone", Class: device.Phone},
+			{Name: "desktop", Class: device.Desktop},
+		},
+		DefaultLink: netsim.WiFi,
+	}
+}
+
+// scriptedStageSrc is one scripted-heavy stage: a counted busy loop, then
+// hand the frame to the next stage.
+const scriptedStageSrc = `
+	function event_received(message) {
+		var acc = 0;
+		for (var i = 0; i < 4000; i++) {
+			acc = acc + i * 3;
+		}
+		call_module("%s", {frame_ref: message.frame_ref, acc: acc});
+	}
+`
+
+// scriptedSinkSrc terminates the chain after a final busy loop.
+const scriptedSinkSrc = `
+	function event_received(message) {
+		var acc = 0;
+		for (var i = 0; i < 4000; i++) {
+			acc = acc + i * 3;
+		}
+		frame_done();
+	}
+`
+
+// scriptedConfig builds a three-stage pure-PipeScript pipeline: no
+// services, every stage a counted loop, frames completed at the sink.
+func scriptedConfig(name string) core.PipelineConfig {
+	return core.PipelineConfig{
+		Name: name,
+		Modules: []core.ModuleConfig{
+			{
+				Name:   "burn_a",
+				Source: fmt.Sprintf(scriptedStageSrc, "burn_b"),
+				Next:   []string{"burn_b"},
+			},
+			{
+				Name:   "burn_b",
+				Source: fmt.Sprintf(scriptedStageSrc, "burn_c"),
+				Next:   []string{"burn_c"},
+				Device: "desktop",
+			},
+			{
+				Name:   "burn_c",
+				Source: scriptedSinkSrc,
+				Device: "desktop",
+			},
+		},
+		Source: core.SourceConfig{
+			Device:      "phone",
+			FirstModule: "burn_a",
+			FPS:         floodNominalFPS,
+			Width:       apps.FrameWidth,
+			Height:      apps.FrameHeight,
+		},
+	}
+}

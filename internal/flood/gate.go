@@ -1,0 +1,89 @@
+package flood
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"videopipe/internal/benchio"
+)
+
+// GateOptions configures the regression gate's tolerances.
+type GateOptions struct {
+	// Tolerance is the allowed relative drift of each knee_eps against
+	// the baseline; zero selects 0.15 (±15%).
+	Tolerance float64
+	// P99Budget is an absolute ceiling on each knee entry's p99_ms in the
+	// *current* run, independent of the baseline; zero skips the check.
+	P99Budget time.Duration
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.15
+	}
+	return o
+}
+
+// kneeSuffix marks the per-mix summary entries the gate compares. vpflood
+// writes one such entry per swept mix alongside the per-step rows.
+const kneeSuffix = "_knee"
+
+// Gate diffs a fresh sweep report against the checked-in baseline and
+// decides pass/fail. For every baseline knee entry it checks that the
+// current report has the entry, that knee_eps drifted by at most the
+// relative tolerance, and (when a budget is set) that the current p99_ms
+// is under the absolute budget. The returned string is the full
+// per-metric diff — printed on pass and fail alike, so CI logs always
+// show the margins, not just the verdict.
+func Gate(baseline, current *benchio.Report, o GateOptions) (string, error) {
+	o = o.withDefaults()
+	var b strings.Builder
+	var violations []string
+	compared := 0
+	for _, base := range baseline.Experiments {
+		if !strings.HasSuffix(base.Name, kneeSuffix) {
+			continue
+		}
+		compared++
+		cur := current.Entry(base.Name)
+		if cur == nil {
+			violations = append(violations, fmt.Sprintf("%s: missing from current report", base.Name))
+			fmt.Fprintf(&b, "%-22s MISSING from current report\n", base.Name)
+			continue
+		}
+		bk, ck := base.Metrics["knee_eps"], cur.Metrics["knee_eps"]
+		drift := 0.0
+		if bk > 0 {
+			drift = (ck - bk) / bk
+		}
+		verdict := "ok"
+		if bk <= 0 {
+			verdict = "FAIL"
+			violations = append(violations, fmt.Sprintf("%s: baseline knee_eps %.4g is not positive", base.Name, bk))
+		} else if drift < -o.Tolerance || drift > o.Tolerance {
+			verdict = "FAIL"
+			violations = append(violations, fmt.Sprintf("%s: knee_eps drifted %+.1f%% (baseline %.4g, current %.4g, tolerance ±%.0f%%)",
+				base.Name, drift*100, bk, ck, o.Tolerance*100))
+		}
+		fmt.Fprintf(&b, "%-22s knee_eps  baseline=%-9.4g current=%-9.4g drift=%+6.1f%%  (tolerance ±%.0f%%)  %s\n",
+			base.Name, bk, ck, drift*100, o.Tolerance*100, verdict)
+		if o.P99Budget > 0 {
+			budgetMS := float64(o.P99Budget) / float64(time.Millisecond)
+			p99 := cur.Metrics["p99_ms"]
+			verdict = "ok"
+			if p99 > budgetMS {
+				verdict = "FAIL"
+				violations = append(violations, fmt.Sprintf("%s: current p99 %.4gms exceeds absolute budget %.4gms", base.Name, p99, budgetMS))
+			}
+			fmt.Fprintf(&b, "%-22s p99_ms    current=%-9.4g budget=%-9.4g %s\n", base.Name, p99, budgetMS, verdict)
+		}
+	}
+	if compared == 0 {
+		return b.String(), fmt.Errorf("flood: baseline report has no %s entries to gate on", kneeSuffix)
+	}
+	if len(violations) > 0 {
+		return b.String(), fmt.Errorf("flood: regression gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,81 @@
+package flood_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"videopipe/internal/benchio"
+	"videopipe/internal/flood"
+)
+
+func kneeReport(name string, kneeEPS, p99MS float64) *benchio.Report {
+	e := &benchio.Entry{Name: name + "_knee"}
+	e.Set("knee_eps", kneeEPS)
+	e.Set("p99_ms", p99MS)
+	return &benchio.Report{Experiments: []*benchio.Entry{e}}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := kneeReport("pose", 40, 120)
+	cur := kneeReport("pose", 36, 130) // -10%, inside the default ±15%
+	diff, err := flood.Gate(base, cur, flood.GateOptions{P99Budget: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("gate failed inside tolerance: %v\n%s", err, diff)
+	}
+	for _, want := range []string{"pose_knee", "knee_eps", "-10.0%", "p99_ms", "ok"} {
+		if !strings.Contains(diff, want) {
+			t.Errorf("diff missing %q:\n%s", want, diff)
+		}
+	}
+}
+
+func TestGateFailsOnKneeDrift(t *testing.T) {
+	base := kneeReport("pose", 40, 120)
+	cur := kneeReport("pose", 30, 120) // -25%
+	diff, err := flood.Gate(base, cur, flood.GateOptions{})
+	if err == nil {
+		t.Fatalf("gate passed a -25%% knee regression:\n%s", diff)
+	}
+	for _, want := range []string{"pose_knee", "-25.0%", "tolerance"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q: %v", want, err)
+		}
+	}
+	// A custom tolerance wide enough must pass the same pair.
+	if _, err := flood.Gate(base, cur, flood.GateOptions{Tolerance: 0.30}); err != nil {
+		t.Errorf("gate failed with a +/-30%% tolerance: %v", err)
+	}
+}
+
+func TestGateFailsOnP99Budget(t *testing.T) {
+	base := kneeReport("pose", 40, 120)
+	cur := kneeReport("pose", 41, 400)
+	diff, err := flood.Gate(base, cur, flood.GateOptions{P99Budget: 250 * time.Millisecond})
+	if err == nil {
+		t.Fatalf("gate passed a p99 over budget:\n%s", diff)
+	}
+	if !strings.Contains(err.Error(), "p99") || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("error does not name the p99 budget: %v", err)
+	}
+	// Without a budget the same pair passes.
+	if _, err := flood.Gate(base, cur, flood.GateOptions{}); err != nil {
+		t.Errorf("gate enforced an unset p99 budget: %v", err)
+	}
+}
+
+func TestGateFailsOnMissingEntry(t *testing.T) {
+	base := kneeReport("pose", 40, 120)
+	cur := kneeReport("scripted", 80, 30)
+	if _, err := flood.Gate(base, cur, flood.GateOptions{}); err == nil {
+		t.Error("gate passed with the baseline's knee entry missing from current")
+	}
+}
+
+func TestGateRejectsEmptyBaseline(t *testing.T) {
+	empty := &benchio.Report{}
+	cur := kneeReport("pose", 40, 120)
+	if _, err := flood.Gate(empty, cur, flood.GateOptions{}); err == nil {
+		t.Error("gate accepted a baseline with no knee entries")
+	}
+}

@@ -1,0 +1,117 @@
+package flood
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, proc := range []Process{Poisson, Uniform} {
+		a, err := Generate(proc, 20, 2*time.Second, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(proc, 20, 2*time.Second, 1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%s: same seed produced different schedules:\n%s\n%s", proc, a.Fingerprint(), b.Fingerprint())
+		}
+		if len(a.Offsets) != len(b.Offsets) {
+			t.Fatalf("%s: event counts differ: %d vs %d", proc, len(a.Offsets), len(b.Offsets))
+		}
+		for i := range a.Offsets {
+			if a.Offsets[i] != b.Offsets[i] {
+				t.Fatalf("%s: offset %d differs: %v vs %v", proc, i, a.Offsets[i], b.Offsets[i])
+			}
+		}
+		c, err := Generate(proc, 20, 2*time.Second, 1235)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint() == c.Fingerprint() {
+			t.Errorf("%s: different seeds produced identical schedules", proc)
+		}
+	}
+}
+
+// TestGenerateGolden pins one schedule byte-for-byte. If this fails, the
+// generator's draw order changed and every recorded benchmark seed means
+// something different now — treat as a breaking change, not a test to
+// update casually.
+func TestGenerateGolden(t *testing.T) {
+	s, err := Generate(Poisson, 10, time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "poisson rate=10 horizon=1s seed=42 events=11 offsets=fedb2ba534173436"
+	if got := s.Fingerprint(); got != want {
+		t.Errorf("pinned fingerprint changed:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestGenerateRates(t *testing.T) {
+	// Poisson: expect ~rate*horizon events; 4 sigma of slack on a
+	// Poisson(600) keeps this deterministic-in-practice for a fixed seed
+	// while still catching rate-units mistakes.
+	p, err := Generate(Poisson, 200, 3*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 600.0
+	if n := float64(len(p.Offsets)); n < mean-4*24.5 || n > mean+4*24.5 {
+		t.Errorf("poisson event count %v far from expected %v", n, mean)
+	}
+	// Uniform: exactly floor or ceil of rate*horizon events, evenly
+	// spaced.
+	u, err := Generate(Uniform, 50, 2*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(u.Offsets); n < 99 || n > 101 {
+		t.Errorf("uniform event count %d, want ~100", n)
+	}
+	interval := time.Second / 50
+	for i := 1; i < len(u.Offsets); i++ {
+		if gap := u.Offsets[i] - u.Offsets[i-1]; gap != interval {
+			t.Fatalf("uniform gap %d is %v, want %v", i, gap, interval)
+		}
+	}
+	for _, s := range []Schedule{p, u} {
+		for i, off := range s.Offsets {
+			if off < 0 || off >= s.Horizon {
+				t.Errorf("%s offset %d = %v outside [0, %v)", s.Process, i, off, s.Horizon)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Poisson, 0, time.Second, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Generate(Poisson, 5, 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Generate(Process("bursty"), 5, time.Second, 1); err == nil {
+		t.Error("unknown process accepted")
+	}
+	if _, err := ParseProcess("bursty"); err == nil {
+		t.Error("ParseProcess accepted unknown process")
+	}
+	if p, err := ParseProcess("uniform"); err != nil || p != Uniform {
+		t.Errorf("ParseProcess(uniform) = %v, %v", p, err)
+	}
+}
+
+func TestPipelineSeedsDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 64; i++ {
+		s := PipelineSeed(99, i)
+		if seen[s] {
+			t.Fatalf("pipeline seed collision at %d", i)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,111 @@
+package flood
+
+import (
+	"fmt"
+	"time"
+
+	"videopipe/internal/experiments"
+)
+
+// SweepOptions configures a knee-finding sweep: a geometric ladder of
+// offered rates, stepped until the system visibly saturates.
+type SweepOptions struct {
+	// Base carries the per-run knobs (fleet size, horizon, process,
+	// seed). Base.Rate is ignored; the ladder sets each step's rate.
+	Base Options
+	// StartRate is the ladder's first per-pipeline rate in events per
+	// second; zero selects 1.
+	StartRate float64
+	// Factor is the ladder's multiplier between steps; values <= 1 select
+	// 2.
+	Factor float64
+	// MaxSteps bounds the ladder; zero selects 8.
+	MaxSteps int
+	// P99Budget ends the sweep once merged e2e p99 exceeds it; zero
+	// selects 250ms.
+	P99Budget time.Duration
+	// MinAchieved ends the sweep once achieved throughput falls below
+	// this fraction of offered; zero selects 0.95.
+	MinAchieved float64
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	o.Base = o.Base.withDefaults()
+	if o.StartRate <= 0 {
+		o.StartRate = 1
+	}
+	if o.Factor <= 1 {
+		o.Factor = 2
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 8
+	}
+	if o.P99Budget <= 0 {
+		o.P99Budget = 250 * time.Millisecond
+	}
+	if o.MinAchieved <= 0 {
+		o.MinAchieved = 0.95
+	}
+	return o
+}
+
+// Step is one rung of the ladder: the offered per-pipeline rate and the
+// run it produced.
+type Step struct {
+	// Rate is the per-pipeline offered rate for this step.
+	Rate float64
+	// Result is the step's measurement.
+	Result Result
+}
+
+// SweepResult is a completed sweep.
+type SweepResult struct {
+	// Mix names the workload that was swept.
+	Mix experiments.FloodMix
+	// Steps are the ladder rungs that ran, in order.
+	Steps []Step
+	// KneeEPS is the capacity estimate: the highest achieved aggregate
+	// rate observed across the sweep. It is a continuous measurement
+	// (completions per second), not a rung of the quantized offered
+	// ladder, which makes it stable enough to gate on.
+	KneeEPS float64
+	// StopReason records which criterion ended the sweep.
+	StopReason string
+}
+
+// Sweep steps the offered rate up a geometric ladder, running each step
+// on a fresh cluster, until latency blows the p99 budget, achieved
+// throughput falls behind offered, or the ladder runs out. The saturating
+// step is still recorded — the knee estimate needs the rung past the
+// cliff to know the cliff is real.
+func Sweep(sc experiments.FloodScenario, o SweepOptions) (SweepResult, error) {
+	o = o.withDefaults()
+	sw := SweepResult{Mix: sc.Mix}
+	rate := o.StartRate
+	for step := 0; step < o.MaxSteps; step++ {
+		base := o.Base
+		base.Rate = rate
+		// Each step draws fresh schedules, still pinned to the run seed.
+		base.Seed = o.Base.Seed + int64(step)*7919
+		res, err := Run(sc, base)
+		if err != nil {
+			return sw, fmt.Errorf("flood: sweep step %d (rate %.3g): %w", step, rate, err)
+		}
+		sw.Steps = append(sw.Steps, Step{Rate: rate, Result: res})
+		if res.AchievedEPS > sw.KneeEPS {
+			sw.KneeEPS = res.AchievedEPS
+		}
+		if res.E2E.P99 > o.P99Budget {
+			sw.StopReason = fmt.Sprintf("p99 %v exceeded budget %v at %.3g eps/pipeline", res.E2E.P99, o.P99Budget, rate)
+			return sw, nil
+		}
+		if res.AchievedEPS < o.MinAchieved*res.OfferedEPS {
+			sw.StopReason = fmt.Sprintf("achieved %.3g eps fell below %.0f%% of offered %.3g eps at %.3g eps/pipeline",
+				res.AchievedEPS, o.MinAchieved*100, res.OfferedEPS, rate)
+			return sw, nil
+		}
+		rate *= o.Factor
+	}
+	sw.StopReason = fmt.Sprintf("ladder exhausted after %d steps without saturating", o.MaxSteps)
+	return sw, nil
+}

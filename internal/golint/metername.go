@@ -17,9 +17,10 @@ import (
 // suggests near misses by edit distance. Names computed entirely at
 // runtime must carry //vpvet:allow metername with a reason.
 //
-// Sinks: metrics.Registry.Meter / .Histogram, and vpbench's
-// benchEntry.set / .setDurationMS (the -out JSON keys, held to the same
-// registry so benchmark output never contains an unregistered name).
+// Sinks: metrics.Registry.Meter / .Histogram, and benchio.Entry.Set /
+// .SetDurationMS (the BENCH_results.json keys vpbench and vpflood write,
+// held to the same registry so benchmark output never contains an
+// unregistered name).
 func MeterName(registry []string) *Analyzer {
 	return &Analyzer{
 		Name: "metername",
@@ -31,11 +32,18 @@ func MeterName(registry []string) *Analyzer {
 }
 
 // meterSinks maps receiver type name -> method names whose first string
-// argument is a metric name. Receiver types are matched by name plus,
-// for Registry, the package-path suffix.
+// argument is a metric name. Receiver types are matched by name plus a
+// package-path suffix (meterSinkPkgs), so an unrelated type that happens
+// to be called Entry is never mistaken for a sink.
 var meterSinks = map[string]map[string]bool{
-	"Registry":   {"Meter": true, "Histogram": true},
-	"benchEntry": {"set": true, "setDurationMS": true},
+	"Registry": {"Meter": true, "Histogram": true},
+	"Entry":    {"Set": true, "SetDurationMS": true},
+}
+
+// meterSinkPkgs pins each sink receiver type to its defining package.
+var meterSinkPkgs = map[string]string{
+	"Registry": "internal/metrics",
+	"Entry":    "internal/benchio",
 }
 
 func runMeterName(pass *Pass, registry []string) {
@@ -111,11 +119,8 @@ func isMeterSink(pass *Pass, sel *ast.SelectorExpr) bool {
 	if !ok || !methods[fnObj.Name()] {
 		return false
 	}
-	if typeName == "Registry" {
-		pkg := named.Obj().Pkg()
-		return pkg != nil && strings.HasSuffix(pkg.Path(), "internal/metrics")
-	}
-	return true
+	pkg := named.Obj().Pkg()
+	return pkg != nil && strings.HasSuffix(pkg.Path(), meterSinkPkgs[typeName])
 }
 
 // namePattern renders the name argument as a registry pattern: constant

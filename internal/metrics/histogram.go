@@ -15,9 +15,21 @@ import (
 )
 
 // maxSamples bounds the memory used by a Histogram. Once full, new samples
-// replace pseudo-randomly chosen old ones (reservoir sampling) so the
-// distribution stays representative over long runs.
+// replace pseudo-randomly chosen old ones (seeded reservoir sampling,
+// Algorithm R) so the distribution stays representative over long runs:
+// after n observations every sample was retained with probability
+// maxSamples/n, so a long run's quantiles are never biased toward its
+// warm-up samples the way a fill-then-drop buffer's would be. The bias
+// regression test in metrics_test.go pins this contract against a
+// bimodal stream.
 const maxSamples = 8192
+
+// defaultReservoirSeed is the xorshift state a histogram starts from when
+// Seed was never called. Any odd constant works; it is fixed so that two
+// histograms fed the same observation sequence retain byte-identical
+// reservoirs — the determinism the vpflood harness's reproducibility
+// tests rely on.
+const defaultReservoirSeed = 0x9e3779b97f4a7c15
 
 // Histogram records duration samples and answers distribution queries.
 // The zero value is ready to use.
@@ -28,10 +40,24 @@ type Histogram struct {
 	sum     time.Duration
 	min     time.Duration
 	max     time.Duration
-	// rng is a tiny xorshift state used for reservoir replacement. It is
-	// seeded lazily from the sample count, keeping the type dependency-free
-	// and deterministic for tests.
+	// rng is a tiny xorshift64 state used for reservoir replacement. It is
+	// seeded deterministically (defaultReservoirSeed, or Seed's value),
+	// keeping the type dependency-free and every run byte-reproducible.
 	rng uint64
+}
+
+// Seed resets the reservoir's replacement RNG. Calling it (before or
+// between observations) makes the retained sample set a pure function of
+// the seed and the observation sequence; histograms that are never seeded
+// use a fixed default state and are equally deterministic. A zero seed is
+// mapped to the default so the xorshift state never sticks at zero.
+func (h *Histogram) Seed(seed uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if seed == 0 {
+		seed = defaultReservoirSeed
+	}
+	h.rng = seed
 }
 
 // Observe records one duration sample.
@@ -53,7 +79,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	// Reservoir replacement: keep each sample with probability maxSamples/count.
 	if h.rng == 0 {
-		h.rng = h.count*2862933555777941757 + 3037000493
+		h.rng = defaultReservoirSeed
 	}
 	h.rng ^= h.rng << 13
 	h.rng ^= h.rng >> 7
@@ -122,6 +148,19 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
 }
 
+// Samples returns a copy of the retained reservoir. Consumers that need
+// quantiles across several histograms (the vpflood harness merging
+// per-pipeline latency distributions) re-observe these into a fresh
+// histogram; the merge is approximate, weighted by each source's retained
+// count.
+func (h *Histogram) Samples() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
 // Snapshot captures the histogram's summary statistics at a point in time.
 type Snapshot struct {
 	Count uint64
@@ -131,6 +170,7 @@ type Snapshot struct {
 	P50   time.Duration
 	P95   time.Duration
 	P99   time.Duration
+	P999  time.Duration
 }
 
 // Snapshot returns a consistent summary of the histogram.
@@ -143,14 +183,16 @@ func (h *Histogram) Snapshot() Snapshot {
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
 	}
 }
 
 // String renders the snapshot in a compact, human-readable form.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v min=%v max=%v",
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v p999=%v min=%v max=%v",
 		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
 		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.P999.Round(time.Microsecond),
 		s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
 }
 

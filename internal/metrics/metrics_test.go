@@ -329,3 +329,161 @@ func TestMeterRateWindowRingEviction(t *testing.T) {
 		t.Errorf("RateWindow after eviction = %f, want ~1000", got)
 	}
 }
+
+// truncatingObserver replays the failure mode this suite regression-guards
+// against: a sampler that fills its buffer and then drops every later
+// observation on the floor. Long-run quantiles from such a buffer are
+// frozen at the warm-up distribution — exactly what a load harness must
+// not report. durationObserver abstracts Observe so checkBimodalUnbiased
+// exercises the real Histogram and this reference impl identically.
+type durationObserver interface {
+	Observe(time.Duration)
+}
+
+type truncatingObserver struct {
+	samples []time.Duration
+}
+
+func (o *truncatingObserver) Observe(d time.Duration) {
+	if len(o.samples) >= maxSamples {
+		return // the pre-reservoir behavior: full means deaf
+	}
+	o.samples = append(o.samples, d)
+}
+
+func (o *truncatingObserver) quantile(q float64) time.Duration {
+	h := Histogram{samples: o.samples}
+	return h.Quantile(q)
+}
+
+// feedBimodal drives obs with a stream whose first maxSamples observations
+// sit at earlyMode and whose following lateN sit at lateMode — the shape
+// of a benchmark with a fast warm-up and a slower steady state.
+func feedBimodal(obs durationObserver, earlyMode, lateMode time.Duration, lateN int) {
+	for i := 0; i < maxSamples; i++ {
+		obs.Observe(earlyMode)
+	}
+	for i := 0; i < lateN; i++ {
+		obs.Observe(lateMode)
+	}
+}
+
+// TestHistogramBimodalUnbiased is the reservoir-bias regression test: once
+// the late mode dominates the stream ~12:1, the median and p99 of the
+// retained samples must sit on the late mode, and the late mode's retained
+// share must be near its true share of the stream. A histogram that stops
+// sampling when full (truncatingObserver, the old failure mode) reports
+// warm-up-only quantiles and fails these assertions — see
+// TestTruncatingSamplerIsBiased, which proves the check has teeth.
+func TestHistogramBimodalUnbiased(t *testing.T) {
+	const early, late = 1 * time.Millisecond, 10 * time.Millisecond
+	const lateN = 100000
+
+	var h Histogram
+	h.Seed(42)
+	feedBimodal(&h, early, late, lateN)
+
+	if got := h.Quantile(0.5); got != late {
+		t.Errorf("p50 = %v, want the late mode %v (quantiles biased toward warm-up)", got, late)
+	}
+	if got := h.Quantile(0.99); got != late {
+		t.Errorf("p99 = %v, want the late mode %v", got, late)
+	}
+	lateFrac := sampleShare(h.Samples(), late)
+	trueFrac := float64(lateN) / float64(lateN+maxSamples)
+	if lateFrac < trueFrac-0.05 || lateFrac > trueFrac+0.05 {
+		t.Errorf("late-mode share of reservoir = %.3f, want %.3f ± 0.05", lateFrac, trueFrac)
+	}
+}
+
+// TestTruncatingSamplerIsBiased locks in that the bimodal check actually
+// distinguishes the two behaviors: the fill-then-drop sampler must FAIL
+// the assertions the real Histogram passes. If someone reverts Observe to
+// truncation, TestHistogramBimodalUnbiased goes red; if someone weakens
+// the check until truncation passes it, this test goes red instead.
+func TestTruncatingSamplerIsBiased(t *testing.T) {
+	const early, late = 1 * time.Millisecond, 10 * time.Millisecond
+	var o truncatingObserver
+	feedBimodal(&o, early, late, 100000)
+
+	if got := o.quantile(0.5); got != early {
+		t.Fatalf("reference truncating sampler p50 = %v, want warm-up mode %v — the regression fixture no longer models the old bug", got, early)
+	}
+	if share := sampleShare(o.samples, late); share != 0 {
+		t.Fatalf("reference truncating sampler retained %.3f late-mode share, want 0", share)
+	}
+}
+
+func sampleShare(samples []time.Duration, mode time.Duration) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range samples {
+		if s == mode {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}
+
+// TestHistogramSeedDeterminism: same seed and observation sequence ⇒
+// byte-identical reservoirs; the default (unseeded) state is itself fixed.
+func TestHistogramSeedDeterminism(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		var h Histogram
+		if seed != 0 {
+			h.Seed(seed)
+		}
+		for i := 0; i < 4*maxSamples; i++ {
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+		return h.Samples()
+	}
+	for _, seed := range []uint64{0, 7, 7} {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: reservoir sizes differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: reservoirs diverge at %d: %v vs %v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestHistogramP999(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.P999 < s.P99 || s.P999 > s.Max {
+		t.Errorf("p999 = %v, want within [p99=%v, max=%v]", s.P999, s.P99, s.Max)
+	}
+	if s.P999 < 998*time.Millisecond {
+		t.Errorf("p999 = %v, want ≥ 998ms on a 1..1000ms ramp", s.P999)
+	}
+}
+
+// TestHistogramSamplesMerge documents the cross-histogram merge idiom the
+// vpflood harness uses for fleet-wide percentiles.
+func TestHistogramSamplesMerge(t *testing.T) {
+	var a, b, merged Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(1 * time.Millisecond)
+		b.Observe(9 * time.Millisecond)
+	}
+	for _, src := range []*Histogram{&a, &b} {
+		for _, s := range src.Samples() {
+			merged.Observe(s)
+		}
+	}
+	if got := merged.Count(); got != 200 {
+		t.Fatalf("merged count = %d, want 200", got)
+	}
+	if p50 := merged.Quantile(0.5); p50 < 1*time.Millisecond || p50 > 9*time.Millisecond {
+		t.Errorf("merged p50 = %v, want between the two modes", p50)
+	}
+}
