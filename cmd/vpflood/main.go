@@ -8,16 +8,23 @@
 //	vpflood -mix pose -rate 5                 # one run at a fixed rate
 //	vpflood -sweep -mix all                   # knee-finding sweeps, all mixes
 //	vpflood -sweep -gate BENCH_baseline.json  # sweep, then regression-gate
+//	vpflood -sweep -tune                      # sweep with the adaptive tuner on
+//	vpflood -tunediff -mix pose               # tuned vs untuned knee diff
 //
 // Mixes: pose (fitness pipelines), multistage (fitness/gesture/fall
 // rotation), scripted (pure-PipeScript stages, no services), all.
 //
 // Sweeps write one BENCH_results.json row per ladder step plus a
 // per-mix knee summary (-out); every metric key is validated against the
-// generated meter registry, like vpbench. With -gate, the fresh knee
-// entries are diffed against a checked-in baseline report: the build
-// fails when knee throughput drifts past -tolerance or p99 exceeds
-// -p99budget.
+// generated meter registry, like vpbench. Tuned sweeps (-tune) write
+// their rows under <mix>_tuned_* names, so tuned and untuned baselines
+// coexist in one report. With -gate, the fresh knee entries are diffed
+// against a checked-in baseline report: the build fails when knee
+// throughput drifts past -tolerance or any set tail budget (-p95budget,
+// -p99budget, -p999budget) is exceeded. With -tunediff, each mix is swept
+// twice — tuner off, then on — and the build fails when the tuned knee
+// does not beat the untuned one by at least -tunemargin. -profile writes
+// pprof CPU/heap profiles per sweep step.
 package main
 
 import (
@@ -34,21 +41,28 @@ import (
 
 func main() {
 	var (
-		mix       = flag.String("mix", "pose", "workload mix: pose|multistage|scripted|all")
-		pipelines = flag.Int("pipelines", 4, "concurrent pipelines per run")
-		rate      = flag.Float64("rate", 5, "offered events/sec per pipeline (single-run mode)")
-		dur       = flag.Duration("dur", 3*time.Second, "injection window per run")
-		process   = flag.String("process", "poisson", "inter-arrival process: poisson|uniform")
-		seed      = flag.Int64("seed", 1, "schedule seed; same seed, byte-identical schedules")
-		sweep     = flag.Bool("sweep", false, "step offered rate up a ladder until the latency knee")
-		start     = flag.Float64("start", 1, "sweep: first per-pipeline rate (events/sec)")
-		factor    = flag.Float64("factor", 2, "sweep: rate multiplier between steps")
-		maxsteps  = flag.Int("maxsteps", 8, "sweep: maximum ladder steps")
-		p99budget = flag.Duration("p99budget", 250*time.Millisecond, "sweep stop / gate: end-to-end p99 ceiling")
-		minach    = flag.Float64("minachieved", 0.95, "sweep stop: minimum achieved/offered fraction")
-		out       = flag.String("out", "BENCH_results.json", "machine-readable report path (empty disables)")
-		gate      = flag.String("gate", "", "baseline report to regression-gate a sweep against (implies -sweep)")
-		tolerance = flag.Float64("tolerance", 0.15, "gate: allowed relative knee_eps drift")
+		mix        = flag.String("mix", "pose", "workload mix: pose|multistage|scripted|all")
+		pipelines  = flag.Int("pipelines", 4, "concurrent pipelines per run")
+		rate       = flag.Float64("rate", 5, "offered events/sec per pipeline (single-run mode)")
+		dur        = flag.Duration("dur", 3*time.Second, "injection window per run")
+		process    = flag.String("process", "poisson", "inter-arrival process: poisson|uniform")
+		seed       = flag.Int64("seed", 1, "schedule seed; same seed, byte-identical schedules")
+		sweep      = flag.Bool("sweep", false, "step offered rate up a ladder until the latency knee")
+		start      = flag.Float64("start", 1, "sweep: first per-pipeline rate (events/sec)")
+		factor     = flag.Float64("factor", 2, "sweep: rate multiplier between steps")
+		maxsteps   = flag.Int("maxsteps", 8, "sweep: maximum ladder steps")
+		p99budget  = flag.Duration("p99budget", 400*time.Millisecond, "sweep stop / gate: end-to-end p99 ceiling")
+		minach     = flag.Float64("minachieved", 0.85, "sweep: delivery floor for a rung to count toward the knee")
+		collapse   = flag.Float64("collapse", 0.75, "sweep stop: achieved/offered fraction ending the ladder")
+		out        = flag.String("out", "BENCH_results.json", "machine-readable report path (empty disables)")
+		gate       = flag.String("gate", "", "baseline report to regression-gate a sweep against (implies -sweep)")
+		tolerance  = flag.Float64("tolerance", 0.15, "gate: allowed relative knee_eps drift")
+		p95budget  = flag.Duration("p95budget", 0, "gate: absolute knee p95 ceiling (0 skips)")
+		p999budget = flag.Duration("p999budget", 0, "gate: absolute knee p99.9 ceiling (0 skips)")
+		tune       = flag.Bool("tune", false, "run the adaptive runtime tuner (batching/scaling/credits/re-planning)")
+		tunediff   = flag.Bool("tunediff", false, "sweep each mix untuned then tuned and compare knees (implies -sweep)")
+		tunemargin = flag.Float64("tunemargin", 0, "tunediff: minimum relative tuned-over-untuned knee improvement")
+		profile    = flag.String("profile", "", "sweep: directory for per-step pprof CPU/heap profiles")
 	)
 	flag.Parse()
 
@@ -61,21 +75,28 @@ func main() {
 	}
 
 	err := run(config{
-		mix:       *mix,
-		pipelines: *pipelines,
-		rate:      *rate,
-		dur:       *dur,
-		process:   *process,
-		seed:      *seed,
-		sweep:     *sweep || *gate != "",
-		start:     *start,
-		factor:    *factor,
-		maxsteps:  *maxsteps,
-		p99budget: *p99budget,
-		minach:    *minach,
-		out:       *out,
-		gate:      *gate,
-		tolerance: *tolerance,
+		mix:        *mix,
+		pipelines:  *pipelines,
+		rate:       *rate,
+		dur:        *dur,
+		process:    *process,
+		seed:       *seed,
+		sweep:      *sweep || *gate != "" || *tunediff,
+		start:      *start,
+		factor:     *factor,
+		maxsteps:   *maxsteps,
+		p99budget:  *p99budget,
+		minach:     *minach,
+		collapse:   *collapse,
+		out:        *out,
+		gate:       *gate,
+		tolerance:  *tolerance,
+		p95budget:  *p95budget,
+		p999budget: *p999budget,
+		tune:       *tune,
+		tunediff:   *tunediff,
+		tunemargin: *tunemargin,
+		profile:    *profile,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vpflood:", err)
@@ -84,21 +105,28 @@ func main() {
 }
 
 type config struct {
-	mix       string
-	pipelines int
-	rate      float64
-	dur       time.Duration
-	process   string
-	seed      int64
-	sweep     bool
-	start     float64
-	factor    float64
-	maxsteps  int
-	p99budget time.Duration
-	minach    float64
-	out       string
-	gate      string
-	tolerance float64
+	mix        string
+	pipelines  int
+	rate       float64
+	dur        time.Duration
+	process    string
+	seed       int64
+	sweep      bool
+	start      float64
+	factor     float64
+	maxsteps   int
+	p99budget  time.Duration
+	minach     float64
+	collapse   float64
+	out        string
+	gate       string
+	tolerance  float64
+	p95budget  time.Duration
+	p999budget time.Duration
+	tune       bool
+	tunediff   bool
+	tunemargin float64
+	profile    string
 }
 
 func (c config) mixes() ([]experiments.FloodMix, error) {
@@ -137,11 +165,16 @@ func run(c config) error {
 		if err != nil {
 			return err
 		}
-		if c.sweep {
-			if err := runSweep(report, sc, base, c); err != nil {
+		switch {
+		case c.tunediff:
+			if err := runTuneDiff(report, sc, base, c); err != nil {
 				return err
 			}
-		} else {
+		case c.sweep:
+			if _, err := runSweep(report, sc, base, c, c.tune); err != nil {
+				return err
+			}
+		default:
 			if err := runSingle(report, sc, base, c); err != nil {
 				return err
 			}
@@ -159,8 +192,10 @@ func run(c config) error {
 			return err
 		}
 		diff, gerr := flood.Gate(baseline, report, flood.GateOptions{
-			Tolerance: c.tolerance,
-			P99Budget: c.p99budget,
+			Tolerance:  c.tolerance,
+			P99Budget:  c.p99budget,
+			P95Budget:  c.p95budget,
+			P999Budget: c.p999budget,
 		})
 		fmt.Printf("\nregression gate vs %s:\n%s", c.gate, diff)
 		if gerr != nil {
@@ -173,22 +208,37 @@ func run(c config) error {
 
 func runSingle(report *benchio.Report, sc experiments.FloodScenario, base flood.Options, c config) error {
 	base.Rate = c.rate
-	fmt.Printf("== %s: %d pipelines x %.3g eps (%s, %v, seed %d)\n",
-		sc.Mix, base.Pipelines, base.Rate, base.Process, base.Horizon, base.Seed)
-	return report.Measure(string(sc.Mix)+"_run", func(e *benchio.Entry) error {
+	base.Tune = c.tune
+	name, label := string(sc.Mix)+"_run", ""
+	if c.tune {
+		name, label = string(sc.Mix)+"_tuned_run", ", tuned"
+	}
+	fmt.Printf("== %s: %d pipelines x %.3g eps (%s, %v, seed %d%s)\n",
+		sc.Mix, base.Pipelines, base.Rate, base.Process, base.Horizon, base.Seed, label)
+	return report.Measure(name, func(e *benchio.Entry) error {
 		res, err := flood.Run(sc, base)
 		if err != nil {
 			return err
 		}
 		recordRun(e, base.Rate, res)
 		fmt.Print(formatRun(res))
+		printTunerActions(res.TunerActions)
 		return nil
 	})
 }
 
-func runSweep(report *benchio.Report, sc experiments.FloodScenario, base flood.Options, c config) error {
-	fmt.Printf("== %s: sweeping %d pipelines from %.3g eps x%.3g (%s, %v/step, seed %d)\n",
-		sc.Mix, base.Pipelines, c.start, c.factor, base.Process, base.Horizon, base.Seed)
+// runSweep runs one knee-finding sweep and records it. Tuned sweeps write
+// their entries under <mix>_tuned_* so a single report (and the checked-in
+// baseline) can hold both operating points side by side. Returns the knee
+// estimate so runTuneDiff can compare the two.
+func runSweep(report *benchio.Report, sc experiments.FloodScenario, base flood.Options, c config, tuned bool) (float64, error) {
+	base.Tune = tuned
+	prefix, label := string(sc.Mix), ""
+	if tuned {
+		prefix, label = string(sc.Mix)+"_tuned", ", tuned"
+	}
+	fmt.Printf("== %s: sweeping %d pipelines from %.3g eps x%.3g (%s, %v/step, seed %d%s)\n",
+		sc.Mix, base.Pipelines, c.start, c.factor, base.Process, base.Horizon, base.Seed, label)
 	sw, err := flood.Sweep(sc, flood.SweepOptions{
 		Base:        base,
 		StartRate:   c.start,
@@ -196,28 +246,86 @@ func runSweep(report *benchio.Report, sc experiments.FloodScenario, base flood.O
 		MaxSteps:    c.maxsteps,
 		P99Budget:   c.p99budget,
 		MinAchieved: c.minach,
+		Collapse:    c.collapse,
+		Profile:     c.profile,
 	})
+	if err != nil {
+		return 0, err
+	}
+	var kneeP95, kneeP99, kneeP999 time.Duration
+	kneeActions := 0
+	for i, st := range sw.Steps {
+		e := &benchio.Entry{Name: fmt.Sprintf("%s_step%d", prefix, i)}
+		recordRun(e, st.Rate, st.Result)
+		if tuned {
+			e.Set("tuner_actions", float64(len(st.Result.TunerActions)))
+		}
+		report.Experiments = append(report.Experiments, e)
+		fmt.Printf("  step %d: offered %7.2f eps  achieved %7.2f eps  p99 %v  drops %d",
+			i, st.Result.OfferedEPS, st.Result.AchievedEPS, st.Result.E2E.P99, st.Result.DroppedSource)
+		if tuned {
+			fmt.Printf("  tuner acts %d", len(st.Result.TunerActions))
+		}
+		fmt.Println()
+		if st.Result.AchievedEPS == sw.KneeEPS {
+			kneeP95 = st.Result.E2E.P95
+			kneeP99 = st.Result.E2E.P99
+			kneeP999 = st.Result.E2E.P999
+			kneeActions = len(st.Result.TunerActions)
+		}
+	}
+	knee := &benchio.Entry{Name: prefix + "_knee"}
+	knee.Set("knee_eps", sw.KneeEPS)
+	knee.Set("steps", float64(len(sw.Steps)))
+	knee.SetDurationMS("p95_ms", kneeP95)
+	knee.SetDurationMS("p99_ms", kneeP99)
+	knee.SetDurationMS("p999_ms", kneeP999)
+	if tuned {
+		knee.Set("tuner_actions", float64(kneeActions))
+	}
+	report.Experiments = append(report.Experiments, knee)
+	fmt.Printf("  knee: %.2f eps aggregate (%s)\n", sw.KneeEPS, sw.StopReason)
+	if tuned && len(sw.Steps) > 0 {
+		printTunerActions(sw.Steps[len(sw.Steps)-1].Result.TunerActions)
+	}
+	return sw.KneeEPS, nil
+}
+
+// runTuneDiff sweeps the mix twice — tuner off, then on — and fails when
+// the tuned knee does not clear the untuned one by tunemargin. Both sweeps
+// land in the report, so one -tunediff run regenerates a full baseline.
+func runTuneDiff(report *benchio.Report, sc experiments.FloodScenario, base flood.Options, c config) error {
+	untuned, err := runSweep(report, sc, base, c, false)
 	if err != nil {
 		return err
 	}
-	kneeP99 := time.Duration(0)
-	for i, st := range sw.Steps {
-		e := &benchio.Entry{Name: fmt.Sprintf("%s_step%d", sc.Mix, i)}
-		recordRun(e, st.Rate, st.Result)
-		report.Experiments = append(report.Experiments, e)
-		fmt.Printf("  step %d: offered %7.2f eps  achieved %7.2f eps  p99 %v  drops %d\n",
-			i, st.Result.OfferedEPS, st.Result.AchievedEPS, st.Result.E2E.P99, st.Result.DroppedSource)
-		if st.Result.AchievedEPS == sw.KneeEPS {
-			kneeP99 = st.Result.E2E.P99
-		}
+	tuned, err := runSweep(report, sc, base, c, true)
+	if err != nil {
+		return err
 	}
-	knee := &benchio.Entry{Name: string(sc.Mix) + "_knee"}
-	knee.Set("knee_eps", sw.KneeEPS)
-	knee.Set("steps", float64(len(sw.Steps)))
-	knee.SetDurationMS("p99_ms", kneeP99)
-	report.Experiments = append(report.Experiments, knee)
-	fmt.Printf("  knee: %.2f eps aggregate (%s)\n", sw.KneeEPS, sw.StopReason)
+	gain := 0.0
+	if untuned > 0 {
+		gain = (tuned - untuned) / untuned
+	}
+	fmt.Printf("== %s tunediff: untuned %.2f eps, tuned %.2f eps (%+.1f%%, required %+.1f%%)\n",
+		sc.Mix, untuned, tuned, gain*100, c.tunemargin*100)
+	if tuned < untuned*(1+c.tunemargin) {
+		return fmt.Errorf("%s: tuned knee %.2f eps below required %.2f eps (untuned %.2f eps + %.0f%% margin)",
+			sc.Mix, tuned, untuned*(1+c.tunemargin), untuned, c.tunemargin*100)
+	}
 	return nil
+}
+
+// printTunerActions lists the tuner's journal for a run, indented under
+// the run's stats. Quiet when the tuner did nothing.
+func printTunerActions(acts []string) {
+	if len(acts) == 0 {
+		return
+	}
+	fmt.Printf("  tuner journal (%d actions):\n", len(acts))
+	for _, a := range acts {
+		fmt.Printf("    %s\n", a)
+	}
 }
 
 // recordRun writes one run's metrics onto a report entry. Keys are

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"videopipe/internal/script"
 )
@@ -36,53 +37,93 @@ var _ Planner = CostAwarePlanner{}
 // Name identifies the strategy.
 func (CostAwarePlanner) Name() string { return "cost-aware" }
 
+// measuredHopPenalty is defaultHopPenalty's analogue in the measured
+// domain: re-planning scores use observed per-event handle time in
+// nanoseconds, so the cross-device penalty is priced as one frame
+// transfer's worth of latency.
+const measuredHopPenalty = int64(10 * time.Millisecond)
+
 // Plan places modules in topological order, maintaining a per-device load
 // ledger of the handler weights already assigned there.
 func (p CostAwarePlanner) Plan(cfg *PipelineConfig, c *Cluster) (Plan, error) {
-	order, err := cfg.TopoOrder()
-	if err != nil {
-		return Plan{}, err
-	}
 	costs := cfg.CostReports()
 	hop := p.HopPenalty
 	if hop <= 0 {
 		hop = defaultHopPenalty
 	}
+	placement, err := p.place(cfg, c, func(name string) int64 { return costs[name].EventWeight() }, hop)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Placement: placement, Credits: p.credits(cfg, costs)}, nil
+}
 
+// PlanMeasured re-scores placement with measured per-module service time
+// (nanoseconds per event) replacing the static pipecost weight — the
+// tuner's load-aware re-planning input. Modules with no measurement yet
+// score as free; the placement rules (pins, service co-location, source
+// anchoring) are identical to Plan, so only the load-balancing of
+// serviceless modules can move.
+func (p CostAwarePlanner) PlanMeasured(cfg *PipelineConfig, c *Cluster, measured map[string]int64) (Plan, error) {
+	hop := p.HopPenalty
+	if hop <= 0 {
+		hop = measuredHopPenalty
+	}
+	placement, err := p.place(cfg, c, func(name string) int64 {
+		if ns, ok := measured[name]; ok && ns > 0 {
+			return ns
+		}
+		return 0
+	}, hop)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Placement: placement, Credits: p.credits(cfg, cfg.CostReports())}, nil
+}
+
+// place runs the placement loop with an arbitrary weight source.
+func (p CostAwarePlanner) place(cfg *PipelineConfig, c *Cluster, weightOf func(string) int64, hop int64) (map[string]string, error) {
+	order, err := cfg.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
 	placement := make(map[string]string, len(cfg.Modules))
 	load := make(map[string]int64)
-
 	for _, name := range order {
 		m, _ := cfg.Module(name)
-		dev, err := p.placeModule(cfg, c, m, placement, load, costs, hop)
+		dev, err := p.placeModule(cfg, c, m, placement, load, hop)
 		if err != nil {
-			return Plan{}, err
+			return nil, err
 		}
 		placement[name] = dev
-		load[dev] += costs[name].EventWeight()
+		load[dev] += weightOf(name)
 	}
+	return placement, nil
+}
 
-	credits := p.Credits
-	if credits <= 0 {
-		symbolic := 0
-		for _, name := range order {
-			if costs[name].EventSymbolic() {
-				symbolic++
-			}
-		}
-		credits = 1 + symbolic
-		if credits < 2 {
-			credits = 2
-		}
-		if credits > 4 {
-			credits = 4
+// credits derives the flow-control window from the symbolic stage count.
+func (p CostAwarePlanner) credits(cfg *PipelineConfig, costs map[string]script.CostReport) int {
+	if p.Credits > 0 {
+		return p.Credits
+	}
+	symbolic := 0
+	for i := range cfg.Modules {
+		if costs[cfg.Modules[i].Name].EventSymbolic() {
+			symbolic++
 		}
 	}
-	return Plan{Placement: placement, Credits: credits}, nil
+	credits := 1 + symbolic
+	if credits < 2 {
+		credits = 2
+	}
+	if credits > 4 {
+		credits = 4
+	}
+	return credits
 }
 
 func (p CostAwarePlanner) placeModule(cfg *PipelineConfig, c *Cluster, m *ModuleConfig,
-	placed map[string]string, load map[string]int64, costs map[string]script.CostReport, hop int64) (string, error) {
+	placed map[string]string, load map[string]int64, hop int64) (string, error) {
 	// 1. Explicit pin wins, as in every planner.
 	if m.Device != "" {
 		if _, ok := c.Device(m.Device); !ok {

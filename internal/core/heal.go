@@ -19,6 +19,15 @@ const (
 	ActionRedeployService
 	// ActionMigrateModule live-migrated a module off a dead device.
 	ActionMigrateModule
+	// ActionScalePool resized a service pool's instance count (tuner).
+	ActionScalePool
+	// ActionSetBatch changed a pool's dynamic batch size (tuner).
+	ActionSetBatch
+	// ActionResizeCredits changed a pipeline's credit window (tuner).
+	ActionResizeCredits
+	// ActionRebalanceModule re-placed a saturated module using measured
+	// service times (tuner re-planning via live migration).
+	ActionRebalanceModule
 )
 
 // Action is one journal entry: what the supervisor did and to what. It
@@ -44,6 +53,14 @@ func (a Action) String() string {
 		return fmt.Sprintf("redeploy_service %s %s->%s", a.Target, a.From, a.To)
 	case ActionMigrateModule:
 		return fmt.Sprintf("migrate_module %s %s->%s", a.Target, a.From, a.To)
+	case ActionScalePool:
+		return fmt.Sprintf("scale_pool %s %s->%s", a.Target, a.From, a.To)
+	case ActionSetBatch:
+		return fmt.Sprintf("set_batch %s %s->%s", a.Target, a.From, a.To)
+	case ActionResizeCredits:
+		return fmt.Sprintf("resize_credits %s %s->%s", a.Target, a.From, a.To)
+	case ActionRebalanceModule:
+		return fmt.Sprintf("rebalance_module %s %s->%s", a.Target, a.From, a.To)
 	default:
 		return fmt.Sprintf("action(%d) %s", int(a.Kind), a.Target)
 	}

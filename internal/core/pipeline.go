@@ -27,8 +27,14 @@ type Pipeline struct {
 	// failure with the same strategy the pipeline launched with.
 	plannerImpl Planner
 
-	source  *frame.Source
-	credits chan struct{}
+	source *frame.Source
+
+	// creditMu guards the credit window (§2.3). A counter rather than a
+	// channel so the tuner can widen or narrow the window on a live
+	// pipeline (ResizeCredits); avail + in-flight never exceeds cap.
+	creditMu    sync.Mutex
+	creditAvail int
+	creditCap   int
 
 	// mu guards the fields below: placement and module instances become
 	// mutable once live migration exists.
@@ -87,7 +93,7 @@ func (c *Cluster) Launch(cfg PipelineConfig, planner Planner) (*Pipeline, error)
 		planner:     planner.Name(),
 		plannerImpl: planner,
 		modules:     make(map[string]*device.Module, len(cfg.Modules)),
-		credits:     make(chan struct{}, plan.Credits),
+		creditCap:   plan.Credits,
 	}
 
 	// Spawn sinks-first (reverse topological order) so every edge's
@@ -218,12 +224,60 @@ func (p *Pipeline) Placement() map[string]string {
 	return out
 }
 
-// returnCredit gives a frame admission slot back to the source.
+// returnCredit gives a frame admission slot back to the source. The cap
+// clamp absorbs both double returns and a window narrowed while frames
+// were in flight.
 func (p *Pipeline) returnCredit() {
-	select {
-	case p.credits <- struct{}{}:
-	default:
+	p.creditMu.Lock()
+	if p.creditAvail < p.creditCap {
+		p.creditAvail++
 	}
+	p.creditMu.Unlock()
+}
+
+// takeCredit claims one admission slot, reporting whether one was free.
+func (p *Pipeline) takeCredit() bool {
+	p.creditMu.Lock()
+	defer p.creditMu.Unlock()
+	if p.creditAvail <= 0 {
+		return false
+	}
+	p.creditAvail--
+	return true
+}
+
+// ResizeCredits adjusts the flow-control window to n credits — the
+// tuner's actuator when the source, not the services, is the bottleneck.
+// Growth is effective immediately; shrinking narrows the cap and lets
+// in-flight frames drain without reclaiming their credits early.
+func (p *Pipeline) ResizeCredits(n int) error {
+	if n < 1 {
+		return fmt.Errorf("core: pipeline %q: credit window must be >= 1, got %d", p.name, n)
+	}
+	p.creditMu.Lock()
+	defer p.creditMu.Unlock()
+	if delta := n - p.creditCap; delta > 0 {
+		p.creditAvail += delta
+	} else if p.creditAvail > n {
+		p.creditAvail = n
+	}
+	p.creditCap = n
+	return nil
+}
+
+// Credits reports the current credit window cap.
+func (p *Pipeline) Credits() int {
+	p.creditMu.Lock()
+	defer p.creditMu.Unlock()
+	return p.creditCap
+}
+
+// CreditsAvail reports how many credits are currently unclaimed. Zero
+// means the window is fully in flight — the next burst arrival drops.
+func (p *Pipeline) CreditsAvail() int {
+	p.creditMu.Lock()
+	defer p.creditMu.Unlock()
+	return p.creditAvail
 }
 
 // RunResult summarizes one pipeline run — the measurements behind the
@@ -305,14 +359,9 @@ func (p *Pipeline) Run(ctx context.Context, d time.Duration) (RunResult, error) 
 // allowance — what Run does at window start. External drivers (the
 // vpflood open-loop generator) call it once before their first Offer.
 func (p *Pipeline) PrimeCredits() {
-	for {
-		select {
-		case p.credits <- struct{}{}:
-			continue
-		default:
-		}
-		break
-	}
+	p.creditMu.Lock()
+	p.creditAvail = p.creditCap
+	p.creditMu.Unlock()
 }
 
 // Offer admits one captured frame if a flow-control credit is available,
@@ -324,13 +373,12 @@ func (p *Pipeline) PrimeCredits() {
 // measured from it at the sink) and ownership transfers unconditionally —
 // a rejected frame has already been released when Offer returns false.
 func (p *Pipeline) Offer(f *frame.Frame) bool {
-	select {
-	case <-p.credits:
-	default:
+	if !p.takeCredit() {
 		// Dropped at the source: emit owns the frame, so recycle its
 		// buffer here. (Once TryInject Puts it in the device store, the
 		// store owns it and releases on eviction.)
 		f.Release()
+		p.cluster.Metrics().Meter("pipeline." + p.name + ".source_drops").Mark()
 		return false
 	}
 	body := map[string]any{

@@ -110,6 +110,8 @@ type Supervisor struct {
 	dead    map[string]bool
 	svc     map[string]*svcState
 	journal []Action
+	// tuner, when attached, steps inside the supervisor loop (tuner.go).
+	tuner *Tuner
 }
 
 // NewSupervisor creates a supervisor for the cluster. It does nothing
@@ -185,11 +187,17 @@ func (s *Supervisor) closeCallers() {
 	}
 }
 
-// step is one control-loop iteration: observe, probe, heal.
+// step is one control-loop iteration: observe, probe, heal, tune.
 func (s *Supervisor) step(ctx context.Context) {
 	rep := s.mon.Sample(ctx)
 	s.probeDevices(ctx)
 	s.checkServices(ctx, rep)
+	s.mu.Lock()
+	tuner := s.tuner
+	s.mu.Unlock()
+	if tuner != nil {
+		tuner.Step(ctx)
+	}
 }
 
 // probeDevices pings every live device in parallel and declares dead any

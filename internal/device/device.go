@@ -225,6 +225,7 @@ func (d *Device) DeployService(spec services.Spec, n int) (*services.Pool, error
 	if err != nil {
 		return nil, err
 	}
+	pool.Instrument(d.reg)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.pools[spec.Name]; dup {

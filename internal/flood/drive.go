@@ -1,7 +1,9 @@
 package flood
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -31,6 +33,17 @@ type Options struct {
 	// DrainTimeout bounds the wait for in-flight frames after the last
 	// injection; zero selects 5 seconds.
 	DrainTimeout time.Duration
+	// Tune runs the adaptive runtime tuner (core.Tuner) against the fleet
+	// for the duration of the run: dynamic batching, pool scaling, credit
+	// resizing and measured-cost re-planning, journaled into the result.
+	Tune bool
+	// TuneConfig overrides the tuner's knobs; nil selects defaults seeded
+	// from the run seed.
+	TuneConfig *core.TunerConfig
+	// InitialTuning, when set (and Tune is on), primes the fresh cluster
+	// with previously learned setpoints before injection starts — how a
+	// sweep carries tuning from rung to rung.
+	InitialTuning *core.TuningSetpoints
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +98,12 @@ type Result struct {
 	GenLateness metrics.Snapshot
 	// Elapsed is wall time from first scheduled event through drain.
 	Elapsed time.Duration
+	// TunerActions is the tuner's journal for the run (empty without
+	// Options.Tune) — what the adaptive runtime actually did.
+	TunerActions []string
+	// Tuning is the final actuator state of a tuned run, for carrying into
+	// the next run of a sweep (zero-valued without Options.Tune).
+	Tuning core.TuningSetpoints
 }
 
 // startLead is how far in the future the fleet's common start instant is
@@ -146,6 +165,26 @@ func Run(sc experiments.FloodScenario, o Options) (Result, error) {
 			}
 		}
 	}()
+
+	// The tuner runs alongside injection and is stopped (and read) after
+	// drain, so late actions are journaled too.
+	var tuner *core.Tuner
+	if o.Tune {
+		var tc core.TunerConfig
+		if o.TuneConfig != nil {
+			tc = *o.TuneConfig
+		}
+		if tc.Seed == 0 {
+			tc.Seed = o.Seed
+		}
+		tuner = core.NewTuner(cluster, tc)
+		tuneCtx, cancelTune := context.WithCancel(context.Background())
+		defer cancelTune()
+		if o.InitialTuning != nil {
+			tuner.Prime(tuneCtx, *o.InitialTuning)
+		}
+		go tuner.Run(tuneCtx)
+	}
 
 	// Inject. Each lane walks its schedule against the shared start
 	// instant; when the system backs up, Offer rejects instantly and the
@@ -217,6 +256,24 @@ func Run(sc experiments.FloodScenario, o Options) (Result, error) {
 	}
 	res.Delivered = delivered()
 	res.Elapsed = time.Since(start)
+	if os.Getenv("VPFLOOD_DEBUG") != "" {
+		for _, ln := range lanes {
+			for _, mod := range ln.pipe.Modules() {
+				key := ln.pipe.Name() + "." + mod
+				fmt.Fprintf(os.Stderr, "[flood] %s done=%d abandoned=%d e2e_p99=%v\n",
+					key,
+					mreg.Meter("pipeline."+key+".frames_done").Count(),
+					mreg.Meter("module."+key+".abandoned").Count(),
+					mreg.Histogram("pipeline."+key+".e2e").Snapshot().P99)
+			}
+		}
+		for _, svc := range cluster.ServiceNames() {
+			if pool, err := cluster.Pool(svc); err == nil {
+				fmt.Fprintf(os.Stderr, "[flood] pool %s size=%d calls=%d batches=%d waitP99=%v\n",
+					svc, pool.Size(), pool.Calls(), pool.Batches(), pool.WaitStats().P99)
+			}
+		}
+	}
 
 	// Merge the per-module e2e histograms into one distribution. Each
 	// module contributes its (unbiased) reservoir; re-observing through a
@@ -233,6 +290,10 @@ func Run(sc experiments.FloodScenario, o Options) (Result, error) {
 	}
 	res.E2E = merged.Snapshot()
 	res.GenLateness = lateness.Snapshot()
+	if tuner != nil {
+		res.TunerActions = tuner.JournalStrings()
+		res.Tuning = tuner.Setpoints()
+	}
 	res.OfferedEPS = float64(res.Offered) / o.Horizon.Seconds()
 	res.AchievedEPS = float64(res.Delivered) / o.Horizon.Seconds()
 	return res, nil

@@ -10,12 +10,19 @@ import (
 
 // GateOptions configures the regression gate's tolerances.
 type GateOptions struct {
-	// Tolerance is the allowed relative drift of each knee_eps against
-	// the baseline; zero selects 0.15 (±15%).
+	// Tolerance is the allowed relative drop of each knee_eps below the
+	// baseline; zero selects 0.15 (-15%). The check is one-sided: a knee
+	// that moved up is an improvement, not a regression — failing on it
+	// would make the gate flakier without catching anything (a stale
+	// baseline shows up in the printed margins either way).
 	Tolerance float64
 	// P99Budget is an absolute ceiling on each knee entry's p99_ms in the
 	// *current* run, independent of the baseline; zero skips the check.
 	P99Budget time.Duration
+	// P95Budget and P999Budget are the same absolute check on the knee's
+	// p95_ms / p999_ms — the tail-headroom gates; zero skips each.
+	P95Budget  time.Duration
+	P999Budget time.Duration
 }
 
 func (o GateOptions) withDefaults() GateOptions {
@@ -61,22 +68,36 @@ func Gate(baseline, current *benchio.Report, o GateOptions) (string, error) {
 		if bk <= 0 {
 			verdict = "FAIL"
 			violations = append(violations, fmt.Sprintf("%s: baseline knee_eps %.4g is not positive", base.Name, bk))
-		} else if drift < -o.Tolerance || drift > o.Tolerance {
+		} else if drift < -o.Tolerance {
 			verdict = "FAIL"
-			violations = append(violations, fmt.Sprintf("%s: knee_eps drifted %+.1f%% (baseline %.4g, current %.4g, tolerance ±%.0f%%)",
+			violations = append(violations, fmt.Sprintf("%s: knee_eps dropped %+.1f%% (baseline %.4g, current %.4g, tolerance -%.0f%%)",
 				base.Name, drift*100, bk, ck, o.Tolerance*100))
 		}
-		fmt.Fprintf(&b, "%-22s knee_eps  baseline=%-9.4g current=%-9.4g drift=%+6.1f%%  (tolerance ±%.0f%%)  %s\n",
+		fmt.Fprintf(&b, "%-22s knee_eps  baseline=%-9.4g current=%-9.4g drift=%+6.1f%%  (tolerance -%.0f%%)  %s\n",
 			base.Name, bk, ck, drift*100, o.Tolerance*100, verdict)
-		if o.P99Budget > 0 {
-			budgetMS := float64(o.P99Budget) / float64(time.Millisecond)
-			p99 := cur.Metrics["p99_ms"]
-			verdict = "ok"
-			if p99 > budgetMS {
-				verdict = "FAIL"
-				violations = append(violations, fmt.Sprintf("%s: current p99 %.4gms exceeds absolute budget %.4gms", base.Name, p99, budgetMS))
+		for _, tail := range []struct {
+			metric string
+			budget time.Duration
+		}{
+			{"p95_ms", o.P95Budget},
+			{"p99_ms", o.P99Budget},
+			{"p999_ms", o.P999Budget},
+		} {
+			if tail.budget <= 0 {
+				continue
 			}
-			fmt.Fprintf(&b, "%-22s p99_ms    current=%-9.4g budget=%-9.4g %s\n", base.Name, p99, budgetMS, verdict)
+			budgetMS := float64(tail.budget) / float64(time.Millisecond)
+			val, present := cur.Metrics[tail.metric]
+			verdict = "ok"
+			switch {
+			case !present:
+				verdict = "FAIL"
+				violations = append(violations, fmt.Sprintf("%s: current report has no %s to gate on", base.Name, tail.metric))
+			case val > budgetMS:
+				verdict = "FAIL"
+				violations = append(violations, fmt.Sprintf("%s: current %s %.4g exceeds absolute budget %.4gms", base.Name, tail.metric, val, budgetMS))
+			}
+			fmt.Fprintf(&b, "%-22s %-9s current=%-9.4g budget=%-9.4g %s\n", base.Name, tail.metric, val, budgetMS, verdict)
 		}
 	}
 	if compared == 0 {

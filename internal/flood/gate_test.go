@@ -44,7 +44,17 @@ func TestGateFailsOnKneeDrift(t *testing.T) {
 	}
 	// A custom tolerance wide enough must pass the same pair.
 	if _, err := flood.Gate(base, cur, flood.GateOptions{Tolerance: 0.30}); err != nil {
-		t.Errorf("gate failed with a +/-30%% tolerance: %v", err)
+		t.Errorf("gate failed with a -30%% tolerance: %v", err)
+	}
+}
+
+func TestGatePassesOnKneeImprovement(t *testing.T) {
+	// The knee check is one-sided: a knee far above baseline is an
+	// improvement (and a hint the baseline is stale), not a regression.
+	base := kneeReport("pose", 40, 120)
+	cur := kneeReport("pose", 70, 120) // +75%
+	if diff, err := flood.Gate(base, cur, flood.GateOptions{}); err != nil {
+		t.Errorf("gate failed a +75%% knee improvement: %v\n%s", err, diff)
 	}
 }
 
@@ -61,6 +71,44 @@ func TestGateFailsOnP99Budget(t *testing.T) {
 	// Without a budget the same pair passes.
 	if _, err := flood.Gate(base, cur, flood.GateOptions{}); err != nil {
 		t.Errorf("gate enforced an unset p99 budget: %v", err)
+	}
+}
+
+func TestGateFailsOnTailBudgets(t *testing.T) {
+	base := kneeReport("pose", 40, 120)
+	cur := kneeReport("pose", 41, 120)
+	cur.Experiments[0].Set("p95_ms", 300)
+	cur.Experiments[0].Set("p999_ms", 500)
+
+	// Each tail budget is independent: p95 over its ceiling fails even
+	// with p99 comfortably inside.
+	_, err := flood.Gate(base, cur, flood.GateOptions{P95Budget: 250 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "p95_ms") {
+		t.Errorf("p95 budget not enforced: %v", err)
+	}
+	_, err = flood.Gate(base, cur, flood.GateOptions{P999Budget: 400 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "p999_ms") {
+		t.Errorf("p999 budget not enforced: %v", err)
+	}
+	// Wide enough budgets pass, and unset budgets are skipped entirely.
+	if _, err := flood.Gate(base, cur, flood.GateOptions{
+		P95Budget: 350 * time.Millisecond, P999Budget: 600 * time.Millisecond,
+	}); err != nil {
+		t.Errorf("gate failed inside the tail budgets: %v", err)
+	}
+	if _, err := flood.Gate(base, cur, flood.GateOptions{}); err != nil {
+		t.Errorf("gate enforced unset tail budgets: %v", err)
+	}
+}
+
+func TestGateFailsWhenTailMetricAbsent(t *testing.T) {
+	// A budget against a report that never recorded the metric must fail
+	// loudly, not silently pass the missing check.
+	base := kneeReport("pose", 40, 120)
+	cur := kneeReport("pose", 40, 120) // has p99_ms only
+	_, err := flood.Gate(base, cur, flood.GateOptions{P95Budget: 250 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "p95_ms") {
+		t.Errorf("missing p95_ms not flagged: %v", err)
 	}
 }
 

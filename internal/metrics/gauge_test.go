@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeLevels(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Errorf("zero-value gauge = %d", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("after Set(7): %d", g.Value())
+	}
+	if got := g.Add(-3); got != 4 {
+		t.Errorf("Add(-3) = %d, want 4", got)
+	}
+	g.Set(2) // Set overwrites, it does not accumulate
+	if g.Value() != 2 {
+		t.Errorf("after Set(2): %d", g.Value())
+	}
+	g.Reset()
+	if g.Value() != 0 {
+		t.Errorf("after Reset: %d", g.Value())
+	}
+	if NewGauge().Value() != 0 {
+		t.Error("NewGauge not zero")
+	}
+}
+
+func TestGaugeConcurrentAdds(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(1)
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 8 {
+		t.Errorf("concurrent adds settled at %d, want 8", g.Value())
+	}
+}
+
+func TestRegistryGauges(t *testing.T) {
+	r := NewRegistry()
+	//vpvet:allow metername test-local instrument names
+	g := r.Gauge("service.x.queue_depth")
+	g.Set(5)
+	//vpvet:allow metername test-local instrument names
+	if again := r.Gauge("service.x.queue_depth"); again != g || again.Value() != 5 {
+		t.Error("Gauge did not return the registered instrument")
+	}
+	//vpvet:allow metername test-local instrument names
+	r.Gauge("service.x.busy_workers").Set(2)
+	names := r.GaugeNames()
+	if len(names) != 2 || names[0] != "service.x.busy_workers" {
+		t.Errorf("GaugeNames = %v", names)
+	}
+	r.Reset()
+	if g.Value() != 0 {
+		t.Errorf("registry Reset left gauge at %d", g.Value())
+	}
+}

@@ -15,6 +15,7 @@ type Registry struct {
 	mu     sync.Mutex
 	hists  map[string]*Histogram
 	meters map[string]*Meter
+	gauges map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -51,6 +52,23 @@ func (r *Registry) Meter(name string) *Meter {
 	return m
 }
 
+// Gauge returns the gauge registered under name, creating it on first
+// use. Gauge names are held to the same generated registry as meters and
+// histograms (the metername analyzer checks call sites).
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Time records the duration of fn into the named histogram and returns any
 // error fn produced.
 func (r *Registry) Time(name string, fn func() error) error {
@@ -85,6 +103,18 @@ func (r *Registry) MeterNames() []string {
 	return names
 }
 
+// GaugeNames reports the sorted names of all registered gauges.
+func (r *Registry) GaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Report renders all registered instruments as an aligned, human-readable
 // table, suitable for experiment output.
 func (r *Registry) Report() string {
@@ -98,6 +128,10 @@ func (r *Registry) Report() string {
 		m := r.Meter(n)
 		fmt.Fprintf(&b, "%-32s rate=%.2f/s count=%d\n", n, m.Rate(), m.Count())
 	}
+	for _, n := range r.GaugeNames() {
+		//vpvet:allow metername re-reads an instrument already registered under this name
+		fmt.Fprintf(&b, "%-32s level=%d\n", n, r.Gauge(n).Value())
+	}
 	return b.String()
 }
 
@@ -110,5 +144,8 @@ func (r *Registry) Reset() {
 	}
 	for _, m := range r.meters {
 		m.Reset()
+	}
+	for _, g := range r.gauges {
+		g.Reset()
 	}
 }

@@ -1,0 +1,402 @@
+package services
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"videopipe/internal/frame"
+	"videopipe/internal/wire"
+)
+
+// Multi-request batch extension to the wire protocol. A batch call packs
+// several requests for ONE service into a single RPC so the per-call
+// overhead (round trip, JPEG encode buffer churn) and the service's
+// serialized section are paid once per batch:
+//
+//	request parts:  ["!batch"][service][args1][frame1]...[argsN][frameN]
+//	response parts: [status1+payload1][frame1]...[statusN+payloadN][frameN]
+//
+// Frame parts are empty for frameless requests/responses. Each response
+// status part leads with one byte — batchStatusOK followed by the result
+// JSON, or batchStatusErr followed by the error text — so one slow or
+// failing request never poisons its batchmates.
+
+// batchMarker is the reserved first part of a batch message; real service
+// names never start with '!'.
+const batchMarker = "!batch"
+
+const (
+	batchStatusOK  = 0x00
+	batchStatusErr = 0x01
+)
+
+// BatchItem is one request in a client batch call. The frame (if any) is
+// borrowed — the caller keeps ownership, as with Call.
+type BatchItem struct {
+	Args  map[string]any
+	Frame *frame.Frame
+}
+
+// handleBatch serves one batch message: decode every request, run them as
+// one amortized pool invocation, and encode per-request results into a
+// single response buffer.
+func (s *Server) handleBatch(ctx context.Context, m wire.Message) (wire.Message, error) {
+	if m.Len() < 4 || m.Len()%2 != 0 {
+		return wire.Message{}, fmt.Errorf("services: malformed batch request (%d parts)", m.Len())
+	}
+	name := m.StringPart(1)
+	s.mu.Lock()
+	pool, ok := s.pools[name]
+	s.mu.Unlock()
+	if !ok {
+		return wire.Message{}, fmt.Errorf("services: unknown service %q", name)
+	}
+
+	n := (m.Len() - 2) / 2
+	reqs := make([]Request, n)
+	decoded := make([]*frame.Frame, n)
+	releaseDecoded := func() {
+		for _, f := range decoded {
+			if f != nil {
+				f.Release()
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		if raw := m.Part(2 + 2*k); len(raw) > 0 {
+			if err := json.Unmarshal(raw, &reqs[k].Args); err != nil {
+				releaseDecoded()
+				return wire.Message{}, fmt.Errorf("services: bad args in batch item %d: %w", k, err)
+			}
+		}
+		if raw := m.Part(3 + 2*k); len(raw) > 0 {
+			f, err := s.codec.Decode(raw)
+			if err != nil {
+				releaseDecoded()
+				return wire.Message{}, fmt.Errorf("services: bad frame payload in batch item %d: %w", k, err)
+			}
+			reqs[k].Frame = f
+			decoded[k] = f
+		}
+	}
+
+	results := pool.InvokeBatch(ctx, reqs)
+	// Decoded request frames exist only for this call; recycle any the
+	// handler did not pass through as its response frame.
+	for k, f := range decoded {
+		if f != nil && f != results[k].Resp.Frame {
+			f.Release()
+		}
+	}
+
+	// One contiguous encode buffer for the whole response. It can't be
+	// pooled: the responder still references it while writing after this
+	// handler returns.
+	var b wire.PartBuilder
+	b.Reset(nil)
+	for k := range results {
+		appendBatchResult(&b, s.codec, &results[k])
+	}
+	return wire.Message{Parts: b.Parts()}, nil
+}
+
+// appendBatchResult encodes one result as its [status+payload][frame]
+// part pair. Marshal/encode failures degrade to a per-request error
+// status rather than failing the batch.
+func appendBatchResult(b *wire.PartBuilder, codec frame.Codec, r *BatchResult) {
+	if r.Err != nil {
+		_ = b.AppendWith(func(dst []byte) ([]byte, error) {
+			dst = append(dst, batchStatusErr)
+			return append(dst, r.Err.Error()...), nil
+		})
+		b.Append(nil)
+		if r.Resp.Frame != nil {
+			r.Resp.Frame.Release()
+		}
+		return
+	}
+	resultJSON, err := json.Marshal(r.Resp.Result)
+	if err != nil {
+		_ = b.AppendWith(func(dst []byte) ([]byte, error) {
+			dst = append(dst, batchStatusErr)
+			return append(dst, fmt.Sprintf("services: marshal result: %v", err)...), nil
+		})
+		b.Append(nil)
+		if r.Resp.Frame != nil {
+			r.Resp.Frame.Release()
+		}
+		return
+	}
+	_ = b.AppendWith(func(dst []byte) ([]byte, error) {
+		dst = append(dst, batchStatusOK)
+		return append(dst, resultJSON...), nil
+	})
+	if rf := r.Resp.Frame; rf != nil {
+		encErr := b.AppendWith(func(dst []byte) ([]byte, error) {
+			return frame.AppendEncode(codec, dst, rf)
+		})
+		rf.Release()
+		if encErr != nil {
+			b.Append(nil)
+		}
+		return
+	}
+	b.Append(nil)
+}
+
+// CallBatch invokes a remote service once for several requests, encoding
+// all frames into one buffer. It returns one BatchResult per item (same
+// order) and a non-nil error only for whole-batch failures (breaker open,
+// RPC failure, malformed response). The breaker records the batch as ONE
+// outcome: a transport failure or all items failing counts as a single
+// failure, never N.
+func (c *Client) CallBatch(ctx context.Context, service string, items []BatchItem) ([]BatchResult, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	br := c.breaker(service)
+	if !br.Allow() {
+		return nil, fmt.Errorf("services: %s: %w", service, ErrBreakerOpen)
+	}
+
+	var b wire.PartBuilder
+	var scratch []byte
+	if v := encBufPool.Get(); v != nil {
+		scratch = v.([]byte)
+	}
+	b.Reset(scratch)
+	b.Append([]byte(batchMarker))
+	b.Append([]byte(service))
+	for k := range items {
+		argsJSON, err := json.Marshal(items[k].Args)
+		if err != nil {
+			br.Cancel()
+			encBufPool.Put(b.Buf()) //nolint:staticcheck // slice scratch, header alloc is noise
+			return nil, fmt.Errorf("services: marshal args in batch item %d: %w", k, err)
+		}
+		b.Append(argsJSON)
+		if f := items[k].Frame; f != nil {
+			if err := b.AppendWith(func(dst []byte) ([]byte, error) {
+				return frame.AppendEncode(c.codec, dst, f)
+			}); err != nil {
+				br.Cancel()
+				encBufPool.Put(b.Buf()) //nolint:staticcheck // slice scratch, header alloc is noise
+				return nil, fmt.Errorf("services: encode frame in batch item %d: %w", k, err)
+			}
+		} else {
+			b.Append(nil)
+		}
+	}
+
+	out, err := c.caller.Call(ctx, wire.Message{Parts: b.Parts()})
+	// Safe to recycle: the caller copied the parts into the socket's
+	// scratch during the synchronous write.
+	encBufPool.Put(b.Buf()) //nolint:staticcheck // recycled after the synchronous write completes
+	if err != nil {
+		br.Record(false)
+		return nil, err
+	}
+	if out.Len() != 2*len(items) {
+		br.Record(false)
+		return nil, fmt.Errorf("services: malformed batch response (%d parts for %d items)", out.Len(), len(items))
+	}
+
+	results := make([]BatchResult, len(items))
+	failed := 0
+	for k := range items {
+		status := out.Part(2 * k)
+		if len(status) < 1 {
+			results[k].Err = fmt.Errorf("services: %s: empty batch status", service)
+			failed++
+			continue
+		}
+		if status[0] != batchStatusOK {
+			results[k].Err = fmt.Errorf("services: %s", string(status[1:]))
+			failed++
+			continue
+		}
+		if payload := status[1:]; len(payload) > 0 {
+			if err := json.Unmarshal(payload, &results[k].Resp.Result); err != nil {
+				results[k].Err = fmt.Errorf("services: bad result payload: %w", err)
+				failed++
+				continue
+			}
+		}
+		if fp := out.Part(2*k + 1); len(fp) > 0 {
+			rf, err := c.codec.Decode(fp)
+			if err != nil {
+				results[k].Err = fmt.Errorf("services: bad result frame: %w", err)
+				failed++
+				continue
+			}
+			results[k].Resp.Frame = rf
+		}
+	}
+	br.Record(failed < len(items))
+	return results, nil
+}
+
+// clientCall is one Call parked in a client-side batcher's queue.
+type clientCall struct {
+	ctx  context.Context
+	item BatchItem
+	done chan clientOutcome
+}
+
+type clientOutcome struct {
+	resp Response
+	err  error
+}
+
+// clientBatcher coalesces concurrent Calls for one service into CallBatch
+// invocations — the client-side mirror of the pool's batch collector.
+type clientBatcher struct {
+	c       *Client
+	service string
+	q       chan *clientCall
+	stop    chan struct{}
+	max     int
+	linger  time.Duration
+}
+
+// SetBatching enables (max > 1) or disables (max <= 1) client-side
+// batching for a service: concurrent Calls coalesce into one CallBatch,
+// the first waiting at most linger for company. In-queue calls from a
+// retired batcher still complete.
+func (c *Client) SetBatching(service string, max int, linger time.Duration) {
+	if linger < 0 {
+		linger = 0
+	}
+	c.batchMu.Lock()
+	defer c.batchMu.Unlock()
+	if old, ok := c.batchers[service]; ok {
+		close(old.stop)
+		delete(c.batchers, service)
+	}
+	if max <= 1 {
+		return
+	}
+	if c.batchers == nil {
+		c.batchers = make(map[string]*clientBatcher)
+	}
+	cb := &clientBatcher{
+		c:       c,
+		service: service,
+		q:       make(chan *clientCall, 4*max),
+		stop:    make(chan struct{}),
+		max:     max,
+		linger:  linger,
+	}
+	c.batchers[service] = cb
+	go cb.run()
+}
+
+// tryEnqueueBatch parks a Call in the service's batcher, returning nil
+// when batching is off or the queue is full (caller takes the direct
+// path). Held under batchMu so SetBatching never strands a call.
+func (c *Client) tryEnqueueBatch(ctx context.Context, service string, args map[string]any, f *frame.Frame) *clientCall {
+	c.batchMu.Lock()
+	defer c.batchMu.Unlock()
+	cb, ok := c.batchers[service]
+	if !ok {
+		return nil
+	}
+	cc := &clientCall{ctx: ctx, item: BatchItem{Args: args, Frame: f}, done: make(chan clientOutcome, 1)}
+	select {
+	case cb.q <- cc:
+		return cc
+	default:
+		return nil
+	}
+}
+
+// stopBatchers retires every batcher (Close path).
+func (c *Client) stopBatchers() {
+	c.batchMu.Lock()
+	defer c.batchMu.Unlock()
+	for svc, cb := range c.batchers {
+		close(cb.stop)
+		delete(c.batchers, svc)
+	}
+}
+
+func (cb *clientBatcher) run() {
+	for {
+		var lead *clientCall
+		select {
+		case lead = <-cb.q:
+		case <-cb.stop:
+			// SetBatching/Close delist the batcher before closing stop, so
+			// no new sends can race this drain.
+			for {
+				select {
+				case cc := <-cb.q:
+					cb.flush([]*clientCall{cc})
+				default:
+					return
+				}
+			}
+		}
+
+		batch := append(make([]*clientCall, 0, cb.max), lead)
+		if cb.linger > 0 {
+			timer := time.NewTimer(cb.linger)
+			for len(batch) < cb.max {
+				select {
+				case cc := <-cb.q:
+					batch = append(batch, cc)
+					continue
+				case <-timer.C:
+				case <-cb.stop:
+				}
+				break
+			}
+			timer.Stop()
+		}
+	sweep:
+		for len(batch) < cb.max {
+			select {
+			case cc := <-cb.q:
+				batch = append(batch, cc)
+			default:
+				break sweep
+			}
+		}
+		// Execute off the collector goroutine so the next batch can form
+		// while this one is on the wire.
+		go cb.flush(batch)
+	}
+}
+
+// flush issues one CallBatch for the collected calls and delivers
+// per-call outcomes. Calls whose context already expired fail without
+// being sent.
+func (cb *clientBatcher) flush(batch []*clientCall) {
+	live := make([]*clientCall, 0, len(batch))
+	for _, cc := range batch {
+		if err := cc.ctx.Err(); err != nil {
+			cc.done <- clientOutcome{err: fmt.Errorf("services: %s: %w", cb.service, err)}
+			continue
+		}
+		live = append(live, cc)
+	}
+	if len(live) == 0 {
+		return
+	}
+	items := make([]BatchItem, len(live))
+	for k, cc := range live {
+		items[k] = cc.item
+	}
+	results, err := cb.c.CallBatch(live[0].ctx, cb.service, items)
+	if err != nil {
+		for _, cc := range live {
+			cc.done <- clientOutcome{err: err}
+		}
+		return
+	}
+	for k, cc := range live {
+		cc.done <- clientOutcome{resp: results[k].Resp, err: results[k].Err}
+	}
+}

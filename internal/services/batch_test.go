@@ -1,0 +1,315 @@
+package services
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"videopipe/internal/frame"
+	"videopipe/internal/netsim"
+	"videopipe/internal/vision"
+)
+
+// TestInvokeBatchBitIdenticalToSequential pins the batching determinism
+// contract for the shipped vision services: a batch must produce, byte for
+// byte, the results the same requests produce one at a time. Each path
+// gets its own pool so per-instance state (there is none for these
+// services, and this proves it) cannot couple the runs.
+func TestInvokeBatchBitIdenticalToSequential(t *testing.T) {
+	for _, name := range []string{PoseDetector, FaceDetector, ObjectDetector} {
+		t.Run(name, func(t *testing.T) {
+			frames := []*frame.Frame{
+				sceneFrame(t, vision.Squat, 0.2),
+				sceneFrame(t, vision.Wave, 0.6),
+				sceneFrame(t, vision.Clap, 0.4),
+				frame.MustNew(64, 64), // empty scene: the not-found branch
+			}
+			reqs := make([]Request, len(frames))
+			for k, f := range frames {
+				reqs[k] = Request{Frame: f}
+			}
+
+			seq := poolFor(t, name)
+			want := make([][]byte, len(reqs))
+			for k := range reqs {
+				resp, err := seq.Invoke(context.Background(), reqs[k])
+				if err != nil {
+					t.Fatalf("sequential Invoke %d: %v", k, err)
+				}
+				want[k] = mustJSON(t, resp.Result)
+			}
+
+			batched := poolFor(t, name)
+			results := batched.InvokeBatch(context.Background(), reqs)
+			if len(results) != len(reqs) {
+				t.Fatalf("InvokeBatch returned %d results for %d requests", len(results), len(reqs))
+			}
+			for k, r := range results {
+				if r.Err != nil {
+					t.Fatalf("batched item %d: %v", k, r.Err)
+				}
+				if got := mustJSON(t, r.Resp.Result); string(got) != string(want[k]) {
+					t.Errorf("item %d diverges:\nbatched:    %s\nsequential: %s", k, got, want[k])
+				}
+			}
+		})
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestPoolCollectorCoalescesConcurrentInvokes exercises the dynamic batch
+// collector end to end: concurrent Invokes park in the queue, ride one
+// amortized invocation, and the batch counters show the coalescing.
+func TestPoolCollectorCoalescesConcurrentInvokes(t *testing.T) {
+	spec := Spec{
+		Name: "batchy", Cost: 5 * time.Millisecond, Workers: 1, MaxBatch: 4,
+		Handler: func(_ context.Context, req Request) (Response, error) {
+			return Response{Result: map[string]any{"v": req.Args["v"]}}, nil
+		},
+	}
+	p, err := NewPool(spec, 1, 1.0)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	// The requested window clamps to the spec's envelope.
+	p.SetBatching(100, 50*time.Millisecond)
+	if got := p.BatchSize(); got != 4 {
+		t.Fatalf("BatchSize = %d, want clamped to spec.MaxBatch 4", got)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := make(map[float64]bool)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			resp, err := p.Invoke(context.Background(), Request{Args: map[string]any{"v": float64(k)}})
+			if err != nil {
+				t.Errorf("batched Invoke %d: %v", k, err)
+				return
+			}
+			mu.Lock()
+			got[resp.Result["v"].(float64)] = true
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+	if len(got) != 4 {
+		t.Errorf("answers were not routed back per caller: %v", got)
+	}
+	if p.BatchedRequests() != 4 {
+		t.Errorf("BatchedRequests = %d, want all 4 through the collector", p.BatchedRequests())
+	}
+	if b := p.Batches(); b == 0 || b >= 4 {
+		t.Errorf("Batches = %d, want coalescing (0 < batches < 4)", b)
+	}
+
+	// Disabling returns Invoke to the direct path; the counters freeze.
+	p.SetBatching(0, 0)
+	if got := p.BatchSize(); got != 0 {
+		t.Errorf("BatchSize after disable = %d", got)
+	}
+	before := p.Batches()
+	if _, err := p.Invoke(context.Background(), Request{Args: map[string]any{"v": 9.0}}); err != nil {
+		t.Fatalf("direct Invoke after disable: %v", err)
+	}
+	if p.Batches() != before {
+		t.Error("direct Invoke after disable rode a batch")
+	}
+}
+
+// echoServer starts a netsim server hosting one custom service and a
+// client dialed at it.
+func echoServer(t *testing.T, spec Spec) (*Pool, *Client) {
+	t.Helper()
+	nw := netsim.NewNetwork(netsim.LinkProfile{})
+	pool, err := NewPool(spec, 1, 1.0)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	srv, err := NewServer(nw.Host("desktop"), 0, map[string]*Pool{spec.Name: pool}, frame.JPEGCodec{Quality: 85})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client := NewClient(nw.Host("phone"), srv.Addr().String(), frame.JPEGCodec{Quality: 85})
+	t.Cleanup(func() { client.Close() })
+	return pool, client
+}
+
+// TestCallBatchRoundTripMixedStatus drives the wire batch format over
+// netsim: one RPC carries three requests, and each comes back with its own
+// status — a failing item never poisons its batchmates, and frames round
+// trip per item.
+func TestCallBatchRoundTripMixedStatus(t *testing.T) {
+	spec := Spec{
+		Name: "echo", Cost: time.Millisecond, MaxBatch: 8,
+		Handler: func(_ context.Context, req Request) (Response, error) {
+			if req.Args["fail"] == true {
+				return Response{}, errors.New("boom")
+			}
+			resp := Response{Result: map[string]any{"v": req.Args["v"]}}
+			if req.Frame != nil {
+				resp.Frame = req.Frame.Clone()
+			}
+			return resp, nil
+		},
+	}
+	pool, client := echoServer(t, spec)
+
+	f := sceneFrame(t, vision.Squat, 0.5)
+	results, err := client.CallBatch(context.Background(), "echo", []BatchItem{
+		{Args: map[string]any{"v": 1.0}, Frame: f},
+		{Args: map[string]any{"fail": true}},
+		{Args: map[string]any{"v": 3.0}},
+	})
+	if err != nil {
+		t.Fatalf("CallBatch: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if results[0].Err != nil || results[0].Resp.Result["v"] != 1.0 {
+		t.Errorf("item 0 = %+v, want v=1", results[0])
+	}
+	if results[0].Resp.Frame == nil {
+		t.Error("item 0 lost its response frame")
+	} else if w := results[0].Resp.Frame.Width; w != f.Width {
+		t.Errorf("item 0 frame width %d, want %d", w, f.Width)
+	}
+	if results[1].Err == nil || results[1].Resp.Result != nil {
+		t.Errorf("item 1 = %+v, want a per-item error", results[1])
+	} else if msg := results[1].Err.Error(); !strings.Contains(msg, "boom") {
+		t.Errorf("item 1 error %q does not carry the handler message", msg)
+	}
+	if results[2].Err != nil || results[2].Resp.Result["v"] != 3.0 || results[2].Resp.Frame != nil {
+		t.Errorf("item 2 = %+v, want v=3 frameless", results[2])
+	}
+	// The whole batch was one pool invocation, not three.
+	if pool.Batches() != 1 || pool.BatchedRequests() != 3 {
+		t.Errorf("pool saw %d batches / %d batched requests, want 1 / 3", pool.Batches(), pool.BatchedRequests())
+	}
+}
+
+// TestCallBatchBreakerRecordsOneOutcome pins the breaker contract: a batch
+// is ONE call outcome. Ten failing items per batch must consume one
+// failure from the threshold run, not ten — otherwise a single unlucky
+// batch would open the circuit a healthy service.
+func TestCallBatchBreakerRecordsOneOutcome(t *testing.T) {
+	spec := Spec{
+		Name: "flaky", MaxBatch: 16,
+		Handler: func(_ context.Context, req Request) (Response, error) {
+			if req.Args["fail"] == true {
+				return Response{}, errors.New("down")
+			}
+			return Response{Result: map[string]any{"ok": true}}, nil
+		},
+	}
+	_, client := echoServer(t, spec)
+
+	failing := make([]BatchItem, 10)
+	for k := range failing {
+		failing[k] = BatchItem{Args: map[string]any{"fail": true}}
+	}
+	// threshold-1 all-failing batches: 10 item failures each, but only
+	// DefaultBreakerThreshold-1 recorded outcomes — the circuit stays
+	// closed.
+	for i := 0; i < DefaultBreakerThreshold-1; i++ {
+		if _, err := client.CallBatch(context.Background(), "flaky", failing); err != nil {
+			t.Fatalf("batch %d rejected: %v", i, err)
+		}
+	}
+	if st, ok := client.BreakerState("flaky"); !ok || st != BreakerClosed {
+		t.Fatalf("breaker = %v after %d failed batches, want closed (one outcome per batch)",
+			st, DefaultBreakerThreshold-1)
+	}
+	// One partially successful batch resets the run entirely.
+	mixed := append([]BatchItem{{Args: map[string]any{"v": 1.0}}}, failing...)
+	if _, err := client.CallBatch(context.Background(), "flaky", mixed); err != nil {
+		t.Fatalf("mixed batch rejected: %v", err)
+	}
+	if st, _ := client.BreakerState("flaky"); st != BreakerClosed {
+		t.Fatalf("breaker = %v after a partially successful batch, want closed", st)
+	}
+	// A full threshold run of failing batches opens it; the next call is
+	// shed client-side.
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		if _, err := client.CallBatch(context.Background(), "flaky", failing); err != nil {
+			t.Fatalf("batch %d rejected early: %v", i, err)
+		}
+	}
+	if st, _ := client.BreakerState("flaky"); st != BreakerOpen {
+		t.Fatalf("breaker = %v after a threshold run, want open", st)
+	}
+	if _, err := client.CallBatch(context.Background(), "flaky", failing); !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("call against an open breaker returned %v, want ErrBreakerOpen", err)
+	}
+}
+
+// TestClientAutoBatchingCoalescesCalls turns on client-side batching and
+// checks that concurrent ordinary Calls ride the wire as batches — the
+// server's pool counters are the ground truth — and that each caller still
+// gets its own answer.
+func TestClientAutoBatchingCoalescesCalls(t *testing.T) {
+	spec := Spec{
+		Name: "echo", Cost: time.Millisecond, MaxBatch: 8,
+		Handler: func(_ context.Context, req Request) (Response, error) {
+			return Response{Result: map[string]any{"v": req.Args["v"]}}, nil
+		},
+	}
+	pool, client := echoServer(t, spec)
+	client.SetBatching("echo", 4, 100*time.Millisecond)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			resp, err := client.Call(context.Background(), "echo", map[string]any{"v": float64(k)}, nil)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			if resp.Result["v"] != float64(k) {
+				errs[k] = fmt.Errorf("got %v, want %d", resp.Result["v"], k)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", k, err)
+		}
+	}
+	if pool.BatchedRequests() != 4 {
+		t.Errorf("server saw %d batched requests, want all 4 coalesced", pool.BatchedRequests())
+	}
+	if b := pool.Batches(); b == 0 || b >= 4 {
+		t.Errorf("server saw %d batches for 4 calls, want coalescing", b)
+	}
+
+	// Turning batching off routes Calls directly again.
+	client.SetBatching("echo", 0, 0)
+	before := pool.Batches()
+	if _, err := client.Call(context.Background(), "echo", map[string]any{"v": 9.0}, nil); err != nil {
+		t.Fatalf("direct Call after disable: %v", err)
+	}
+	if pool.Batches() != before {
+		t.Error("Call after disable still rode a batch")
+	}
+}

@@ -1,0 +1,65 @@
+package wire
+
+// PartBuilder assembles many message parts inside one contiguous backing
+// buffer — the encode path for multi-frame batch messages, where paying
+// one buffer (and one later EncodeTo copy source) per batch beats one
+// allocation per frame. Append the payloads in order, then call Parts to
+// slice them out; the builder records offsets rather than subslices, so
+// the backing array may reallocate freely while parts are appended.
+//
+// A PartBuilder is not safe for concurrent use. Reset (optionally
+// adopting a recycled buffer) makes it reusable across batches.
+type PartBuilder struct {
+	buf  []byte
+	ends []int
+}
+
+// Reset clears the builder and adopts buf (which may be nil) as the
+// backing buffer, truncated to zero length but keeping its capacity —
+// the recycling hook for sync.Pool scratch.
+func (b *PartBuilder) Reset(buf []byte) {
+	b.buf = buf[:0]
+	b.ends = b.ends[:0]
+}
+
+// Append copies p into the backing buffer as the next part. Empty parts
+// are legal and round-trip as empty.
+func (b *PartBuilder) Append(p []byte) {
+	b.buf = append(b.buf, p...)
+	b.ends = append(b.ends, len(b.buf))
+}
+
+// AppendWith grows the backing buffer through fn, which must append its
+// payload to dst and return the extended slice (the frame.AppendEncode
+// contract). On error the buffer is rewound and no part is recorded.
+func (b *PartBuilder) AppendWith(fn func(dst []byte) ([]byte, error)) error {
+	mark := len(b.buf)
+	grown, err := fn(b.buf)
+	if err != nil {
+		b.buf = b.buf[:mark]
+		return err
+	}
+	b.buf = grown
+	b.ends = append(b.ends, len(b.buf))
+	return nil
+}
+
+// Len reports the number of parts appended so far.
+func (b *PartBuilder) Len() int { return len(b.ends) }
+
+// Parts slices the appended parts out of the backing buffer. The parts
+// alias the buffer: they stay valid until the next Reset, and the buffer
+// must not be recycled while a Message still references them.
+func (b *PartBuilder) Parts() [][]byte {
+	out := make([][]byte, len(b.ends))
+	start := 0
+	for i, end := range b.ends {
+		out[i] = b.buf[start:end:end]
+		start = end
+	}
+	return out
+}
+
+// Buf exposes the backing buffer, for returning it to a pool once the
+// parts are no longer referenced.
+func (b *PartBuilder) Buf() []byte { return b.buf }
