@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet meters lint check test race cover alloc bench chaos heal fuzz experiments flood floodtune floodgate examples clean
+.PHONY: all build vet meters lint check test race cover alloc bench chaos heal sandbox fuzz experiments flood floodtune floodgate examples clean
 
 all: build vet test
 
@@ -72,10 +72,18 @@ heal:
 	VP_CHAOS_SEED=$(VP_CHAOS_SEED) $(GO) test -race -v -run 'TestChaos' .
 	$(GO) test -race -run 'TestSupervisor|TestMigrate|TestBreaker|TestSnapshot' ./internal/core ./internal/services ./internal/script
 
+# Sandbox-governance gate: budget enforcement, kill/quarantine/restart and
+# the module-sabotage chaos scenarios (hostile code contained by the
+# sandbox, healed by the supervisor), all under the race detector.
+sandbox:
+	$(GO) test -race -run 'TestBudget|TestPreservationVersion|TestSnapshotCarriesVersion|TestModuleBreach|TestModuleOutput|TestModuleRestore|TestParseConfigLimits|TestEffectiveLimits|TestValidateRejectsBadLimits|TestPV014|TestBuiltinAppsWithin|TestPipelineRestartModule' ./internal/script ./internal/device ./internal/core
+	VP_CHAOS_SEED=$(VP_CHAOS_SEED) $(GO) test -race -v -run 'TestChaosResilience/(runaway_module|hog_module)' .
+
 # Short coverage-guided fuzz pass over the PipeScript and config parsers
-# (seed corpora alone run in `make test`).
+# plus the sandbox budget enforcer (seed corpora alone run in `make test`).
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/script
+	$(GO) test -fuzz FuzzBudget -fuzztime 30s ./internal/script
 	$(GO) test -fuzz FuzzParseConfig -fuzztime 30s ./internal/core
 
 # One measurement window per benchmark; see EXPERIMENTS.md for canonical

@@ -39,6 +39,15 @@ const (
 	// it hangs and drops off the network for every peer, and is never
 	// reversed — recovery is the supervisor's job, not the injector's.
 	KindDeviceCrash
+	// KindRunawayModule hot-swaps a hostile infinite-loop body into a live
+	// module (target: ModuleTarget(pipeline, module)). Never reversed —
+	// the sandbox must breach, kill, and the supervisor restart the module
+	// from its original source.
+	KindRunawayModule
+	// KindHogModule hot-swaps a hostile allocation-bomb body into a live
+	// module (target: ModuleTarget(pipeline, module)). Never reversed, as
+	// with KindRunawayModule.
+	KindHogModule
 )
 
 // String names the kind.
@@ -56,6 +65,10 @@ func (k Kind) String() string {
 		return "pause_device"
 	case KindDeviceCrash:
 		return "device_crash"
+	case KindRunawayModule:
+		return "runaway_module"
+	case KindHogModule:
+		return "hog_module"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -136,6 +149,22 @@ func SplitLink(target string) (a, b string, err error) {
 	return parts[0], parts[1], nil
 }
 
+// ModuleTarget encodes a pipeline/module pair as an Event target for the
+// module-sabotage kinds. Unlike LinkTarget the order is significant, so no
+// canonicalization happens.
+func ModuleTarget(pipeline, module string) string {
+	return pipeline + linkSep + module
+}
+
+// SplitModuleTarget decodes a module target into pipeline and module.
+func SplitModuleTarget(target string) (pipeline, module string, err error) {
+	parts := strings.Split(target, linkSep)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", "", fmt.Errorf("chaos: bad module target %q, want \"pipeline|module\"", target)
+	}
+	return parts[0], parts[1], nil
+}
+
 // GenOptions bounds a generated schedule. At least one target class
 // (Links, Services, Devices) must be non-empty.
 type GenOptions struct {
@@ -159,6 +188,14 @@ type GenOptions struct {
 	// 200 ms and 800 ms.
 	MinDuration time.Duration
 	MaxDuration time.Duration
+	// RunawayModules lists module targets (ModuleTarget form) eligible for
+	// hostile infinite-loop injection. Sandbox governance plus a
+	// supervisor are required to recover, so only supervised experiments
+	// should populate this.
+	RunawayModules []string
+	// HogModules lists module targets eligible for hostile
+	// allocation-bomb injection, under the same caveat.
+	HogModules []string
 }
 
 // Generate derives a schedule from a seed: the same seed and options
@@ -207,6 +244,13 @@ func Generate(seed int64, o GenOptions) Schedule {
 	// byte-identical schedules when CrashDevices is empty.
 	if len(o.CrashDevices) > 0 {
 		choices = append(choices, choice{KindDeviceCrash, o.CrashDevices})
+	}
+	// Likewise appended after every older class.
+	if len(o.RunawayModules) > 0 {
+		choices = append(choices, choice{KindRunawayModule, o.RunawayModules})
+	}
+	if len(o.HogModules) > 0 {
+		choices = append(choices, choice{KindHogModule, o.HogModules})
 	}
 	if len(choices) == 0 {
 		return nil

@@ -168,6 +168,34 @@ func (inj *Injector) apply(ev Event) (func(), error) {
 		dev.Pause()
 		return dev.Resume, nil
 
+	case KindRunawayModule, KindHogModule:
+		pname, mod, err := SplitModuleTarget(ev.Target)
+		if err != nil {
+			return nil, err
+		}
+		var pipe *core.Pipeline
+		for _, p := range inj.cluster.Pipelines() {
+			if p.Name() == pname {
+				pipe = p
+				break
+			}
+		}
+		if pipe == nil {
+			return nil, fmt.Errorf("chaos: unknown pipeline %q", pname)
+		}
+		src := RunawaySource
+		if ev.Kind == KindHogModule {
+			src = HogSource
+		}
+		// Hot-swap hostile code into the live module. The fault is
+		// permanent from the injector's perspective: the sandbox must
+		// breach and kill the module, and the supervisor must restart it
+		// from its original source — there is deliberately no reversal.
+		if err := pipe.UpdateModule(mod, src); err != nil {
+			return nil, err
+		}
+		return func() {}, nil
+
 	case KindDeviceCrash:
 		dev, ok := inj.cluster.Device(ev.Target)
 		if !ok {

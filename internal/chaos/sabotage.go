@@ -1,0 +1,34 @@
+package chaos
+
+// Hostile PipeScript bodies for the module-sabotage fault kinds. Both are
+// valid, loadable modules — the attack is in the handler, so the hot-swap
+// succeeds and every subsequent event breaches a sandbox budget. Both pin
+// _PRESERVATION_VERSION to a value no benign module uses, so when the
+// supervisor restarts the module from its original source the hostile
+// globals snapshot is discarded rather than restored.
+
+// RunawaySource spins forever in event_received: each event burns the
+// module's entire instruction budget and is aborted by the sandbox.
+const RunawaySource = `
+var _PRESERVATION_VERSION = 666;
+
+function event_received(m) {
+	var i = 0;
+	while (true) { i = i + 1; }
+}
+`
+
+// HogSource doubles a string until the allocation accounting trips the
+// module's memory budget (or, failing that, the instruction budget).
+const HogSource = `
+var _PRESERVATION_VERSION = 666;
+
+function event_received(m) {
+	var chunk = "0123456789abcdef";
+	var hoard = [];
+	while (true) {
+		chunk = chunk + chunk;
+		push(hoard, chunk);
+	}
+}
+`

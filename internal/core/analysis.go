@@ -27,6 +27,14 @@ const (
 	CodeUnusedEdge        = "PV104" // declared edge never targeted
 )
 
+// CodeLimitBreach (PV014) flags sandbox-budget problems visible
+// statically: an instruction limit below the pipecost worst-case bound
+// (every event is guaranteed to breach), or an unbounded handler deployed
+// with no declared instruction limit (it will run until the cluster
+// default kills it). It continues the script-level PV0xx range because the
+// check joins pipecost's script analysis with the config's limits.
+const CodeLimitBreach = "PV014"
+
 // Diagnostic is one analyzer finding attributed to a pipeline module.
 type Diagnostic struct {
 	Pipeline string
@@ -85,8 +93,59 @@ func AnalyzePipeline(cfg *PipelineConfig) []Diagnostic {
 			})
 		}
 		out = append(out, crossCheckModule(cfg, m, rep)...)
+		out = append(out, limitsCheckModule(cfg, m)...)
 	}
 	return out
+}
+
+// limitsCheckModule cross-checks a module's sandbox budget against its
+// pipecost static bounds (PV014). Both findings are warnings: a
+// guaranteed-breach limit may be a deliberate canary, and an unbounded
+// handler still runs under the cluster default — but both deserve a loud
+// note at deploy time.
+func limitsCheckModule(cfg *PipelineConfig, m *ModuleConfig) []Diagnostic {
+	eff := cfg.EffectiveLimits(m.Name)
+	declared := m.Limits.Instructions > 0 || cfg.Limits.Instructions > 0
+	cost := script.AnalyzeCost(m.Source)
+
+	var out []Diagnostic
+	add := func(pos script.Position, msg string) {
+		out = append(out, Diagnostic{
+			Pipeline: cfg.Name, Module: m.Name,
+			Pos: pos, Code: CodeLimitBreach, Severity: script.SeverityWarning, Message: msg,
+		})
+	}
+
+	for _, h := range cost.Handlers {
+		// Resolve which budget governs this handler: init and top-level
+		// load run under the init budget when one is set.
+		limit := eff.Instructions
+		budget := "instruction_limit"
+		if (h.Name == "init" || h.Name == script.LoadHandler) && eff.InitInstructions > 0 {
+			limit = eff.InitInstructions
+			budget = "init_instructions"
+		}
+		if h.Bounded {
+			if limit > 0 && h.Steps > limit {
+				add(h.Pos, fmt.Sprintf(
+					"%s static worst case (%d steps) exceeds the effective %s (%d): every invocation is guaranteed to breach",
+					handlerLabelFor(h.Name), h.Steps, budget, limit))
+			}
+		} else if !declared {
+			add(h.Pos, fmt.Sprintf(
+				"%s has no static cost bound and the module declares no instruction_limit; it runs until the cluster default (%d steps) kills it",
+				handlerLabelFor(h.Name), int64(DefaultInstructionLimit)))
+		}
+	}
+	return out
+}
+
+// handlerLabelFor renders a cost-handler name for diagnostics.
+func handlerLabelFor(name string) string {
+	if name == script.LoadHandler {
+		return "module top level"
+	}
+	return name + "()"
 }
 
 // AnalyzeModuleSource runs only the script-level checks over one module

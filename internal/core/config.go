@@ -31,6 +31,9 @@ type ModuleConfig struct {
 	// Device optionally pins the module to a device, overriding the
 	// planner.
 	Device string
+	// Limits overrides the pipeline's sandbox resource budget for this
+	// module; zero fields inherit (see LimitsConfig).
+	Limits LimitsConfig
 }
 
 // SourceConfig describes the pipeline's video source — the camera end.
@@ -60,6 +63,9 @@ type PipelineConfig struct {
 	Modules []ModuleConfig
 	// Source is the camera end.
 	Source SourceConfig
+	// Limits is the pipeline-wide sandbox resource budget; zero fields
+	// fall back to the cluster defaults (see LimitsConfig).
+	Limits LimitsConfig
 }
 
 // Validate checks structural soundness: unique names, resolvable edges and
@@ -112,6 +118,14 @@ func (c *PipelineConfig) Validate() error {
 	}
 	if c.Source.Width <= 0 || c.Source.Height <= 0 {
 		return fmt.Errorf("core: pipeline %q: bad source dimensions %dx%d", c.Name, c.Source.Width, c.Source.Height)
+	}
+	if err := c.Limits.validate(fmt.Sprintf("pipeline %q", c.Name)); err != nil {
+		return err
+	}
+	for _, m := range c.Modules {
+		if err := m.Limits.validate(fmt.Sprintf("pipeline %q: module %q", c.Name, m.Name)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

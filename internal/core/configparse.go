@@ -363,6 +363,15 @@ func buildConfig(name string, doc *cfgObject, resolve Resolver) (*PipelineConfig
 			return nil, err
 		}
 	}
+	if lv, ok := doc.get("limits"); ok {
+		obj, ok := lv.(*cfgObject)
+		if !ok {
+			return nil, fmt.Errorf("core: config: limits must be an object")
+		}
+		if err := buildLimits(obj, &cfg.Limits); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Source.FirstModule == "" && len(cfg.Modules) > 0 {
 		cfg.Source.FirstModule = cfg.Modules[0].Name
 	}
@@ -434,6 +443,14 @@ func buildModule(obj *cfgObject, resolve Resolver) (*ModuleConfig, error) {
 				return nil, fmt.Errorf("core: config line %d: device must be a string", e.line)
 			}
 			mc.Device = s
+		case "limits":
+			obj, ok := e.value.(*cfgObject)
+			if !ok {
+				return nil, fmt.Errorf("core: config line %d: limits must be an object", e.line)
+			}
+			if err := buildLimits(obj, &mc.Limits); err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("core: config line %d: unknown module field %q", e.line, e.key)
 		}
@@ -442,6 +459,33 @@ func buildModule(obj *cfgObject, resolve Resolver) (*ModuleConfig, error) {
 		return nil, fmt.Errorf("core: config: module missing name")
 	}
 	return mc, nil
+}
+
+// buildLimits maps a `limits { ... }` block onto a LimitsConfig; it
+// appears at the top level (pipeline-wide budget) and inside a module
+// entry (per-module override).
+func buildLimits(obj *cfgObject, lc *LimitsConfig) error {
+	for _, e := range obj.entries {
+		n, ok := e.value.(float64)
+		if !ok {
+			return fmt.Errorf("core: config line %d: %s must be a number", e.line, e.key)
+		}
+		switch e.key {
+		case "instructions", "instruction_limit":
+			lc.Instructions = int64(n)
+		case "init_instructions":
+			lc.InitInstructions = int64(n)
+		case "memory", "memory_limit":
+			lc.Memory = int64(n)
+		case "output", "output_limit":
+			lc.Output = int64(n)
+		case "timeout_ms":
+			lc.TimeoutMS = n
+		default:
+			return fmt.Errorf("core: config line %d: unknown limits field %q", e.line, e.key)
+		}
+	}
+	return nil
 }
 
 func buildSource(obj *cfgObject, sc *SourceConfig) error {

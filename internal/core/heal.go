@@ -28,6 +28,9 @@ const (
 	// ActionRebalanceModule re-placed a saturated module using measured
 	// service times (tuner re-planning via live migration).
 	ActionRebalanceModule
+	// ActionRestartModule replaced a module its sandbox killed after
+	// repeated resource-budget breaches.
+	ActionRestartModule
 )
 
 // Action is one journal entry: what the supervisor did and to what. It
@@ -61,6 +64,8 @@ func (a Action) String() string {
 		return fmt.Sprintf("resize_credits %s %s->%s", a.Target, a.From, a.To)
 	case ActionRebalanceModule:
 		return fmt.Sprintf("rebalance_module %s %s->%s", a.Target, a.From, a.To)
+	case ActionRestartModule:
+		return "restart_module " + a.Target
 	default:
 		return fmt.Sprintf("action(%d) %s", int(a.Kind), a.Target)
 	}
@@ -133,6 +138,67 @@ func (s *Supervisor) redeployTarget() (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// checkModules restarts modules whose sandbox killed them after repeated
+// budget breaches, under the same backoff/budget discipline as service
+// restarts. Pipelines iterate in launch order and killed modules sorted,
+// so the journal stays seed-deterministic.
+//
+//vpvet:deterministic
+func (s *Supervisor) checkModules(ctx context.Context) {
+	_ = ctx
+	now := time.Now() //vpvet:allow determinism real-time backoff clock; never recorded in the action journal
+	for _, p := range s.cluster.Pipelines() {
+		killed := make(map[string]bool)
+		for _, mod := range p.KilledModules() {
+			killed[mod] = true
+		}
+		for _, mod := range p.Modules() {
+			key := p.Name() + "." + mod
+			if !killed[mod] {
+				// Sustained health refills the restart budget, mirroring
+				// the service path.
+				s.mu.Lock()
+				if st, ok := s.mod[key]; ok && st.restarts > 0 {
+					if st.healthySince.IsZero() {
+						st.healthySince = now
+					} else if now.Sub(st.healthySince) > s.cfg.HealthyAfter {
+						st.restarts = 0
+						st.nextAttempt = time.Time{}
+					}
+				}
+				s.mu.Unlock()
+				continue
+			}
+
+			s.mu.Lock()
+			st, ok := s.mod[key]
+			if !ok {
+				st = &modState{}
+				s.mod[key] = st
+			}
+			st.healthySince = time.Time{}
+			if now.Before(st.nextAttempt) || st.restarts >= s.cfg.MaxRestarts {
+				s.mu.Unlock()
+				continue
+			}
+			st.restarts++
+			attempt := st.restarts
+			s.mu.Unlock()
+
+			err := p.RestartModule(mod)
+			backoff := s.backoffAfter(attempt)
+			s.mu.Lock()
+			st.nextAttempt = time.Now().Add(backoff) //vpvet:allow determinism real-time backoff clock; never recorded in the action journal
+			s.mu.Unlock()
+			if err != nil {
+				continue
+			}
+			s.record(Action{Kind: ActionRestartModule, Target: key})
+			s.cluster.Metrics().Meter("supervisor.module_restarts").Mark()
+		}
+	}
 }
 
 // checkServices walks the monitor's service view and restarts pools that

@@ -197,6 +197,7 @@ func (p *Pipeline) spawnModule(mc *ModuleConfig) error {
 		Port:         port,
 		Next:         routes,
 		MetricPrefix: p.name,
+		Limits:       p.cfg.EffectiveLimits(mc.Name).ToScript(),
 	})
 	if err != nil {
 		return err
@@ -522,6 +523,7 @@ func (p *Pipeline) MigrateModule(name, target string) error {
 		Next:         routes,
 		MetricPrefix: p.name,
 		Restore:      snap,
+		Limits:       p.cfg.EffectiveLimits(name).ToScript(),
 	})
 	if err != nil {
 		return fmt.Errorf("core: migrating %q to %q: %w", name, target, err)
@@ -575,6 +577,131 @@ func (p *Pipeline) MigrateModule(name, target string) error {
 	// already is closed) nor hold the name.
 	if od, ok := p.cluster.Device(oldDev); ok && oldDev != target {
 		od.DropModule(p.prefixed(name))
+	}
+	p.cluster.Metrics().Meter("pipeline." + p.name + ".recoveries").Mark()
+	return nil
+}
+
+// KilledModules lists modules (by config name, sorted) whose sandbox
+// killed them after repeated budget breaches — the supervisor's restart
+// work list.
+func (p *Pipeline) KilledModules() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for name, m := range p.modules {
+		if m.Killed() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RestartModule replaces a module in place on its current device — the
+// recovery action for a sandbox kill. The replacement loads from the
+// pipeline config's original source (discarding any hot-swapped code, the
+// usual way hostile code arrived), and the old instance's global state is
+// carried over only when its _PRESERVATION_VERSION matches the fresh
+// code's — a mismatch starts clean rather than resurrecting a poisoned
+// global.
+func (p *Pipeline) RestartModule(name string) error {
+	mc, ok := p.cfg.Module(name)
+	if !ok {
+		return fmt.Errorf("core: pipeline %q has no module %q", p.name, name)
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("core: pipeline %q is closed", p.name)
+	}
+	if p.migrating {
+		p.mu.Unlock()
+		return fmt.Errorf("core: pipeline %q already has a migration in flight", p.name)
+	}
+	p.migrating = true
+	old := p.modules[name]
+	devName := p.plan.Placement[name]
+	var routes []device.Route
+	for _, next := range mc.Next {
+		dst := p.modules[next]
+		route := device.Route{Module: p.prefixed(next), Label: next}
+		if p.plan.Placement[next] != devName {
+			route.Address = dst.Addr().String()
+		}
+		routes = append(routes, route)
+	}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.migrating = false
+		p.mu.Unlock()
+	}()
+
+	d, ok := p.cluster.Device(devName)
+	if !ok {
+		return fmt.Errorf("core: restart %q: device %q is gone", name, devName)
+	}
+
+	// Quiesce exactly as migration does; the respawn is on the same
+	// device, so the name must be dropped before the replacement spawns.
+	oldAddr := old.Addr().String()
+	old.Close()
+	snap := old.SnapshotState()
+	d.DropModule(p.prefixed(name))
+
+	newM, err := d.SpawnModule(device.ModuleSpec{
+		Name:         p.prefixed(name),
+		Source:       mc.Source,
+		Services:     mc.Services,
+		Next:         routes,
+		MetricPrefix: p.name,
+		Restore:      snap,
+		Limits:       p.cfg.EffectiveLimits(name).ToScript(),
+	})
+	if err != nil {
+		return fmt.Errorf("core: restarting %q on %q: %w", name, devName, err)
+	}
+	newM.SetFrameDone(p.returnCredit)
+	newM.SetFrameAbandoned(p.returnCredit)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		newM.Close()
+		d.DropModule(p.prefixed(name))
+		return fmt.Errorf("core: pipeline %q closed during restart of %q", p.name, name)
+	}
+	p.modules[name] = newM
+	if p.cfg.Source.FirstModule == name {
+		p.entry = newM
+	}
+	// The endpoint moved (fresh ephemeral bind); repoint remote
+	// predecessors and unwedge any push still aimed at the old one.
+	type repoint struct {
+		m *device.Module
+		r device.Route
+	}
+	var repoints []repoint
+	for i := range p.cfg.Modules {
+		pred := &p.cfg.Modules[i]
+		for _, next := range pred.Next {
+			if next != name {
+				continue
+			}
+			route := device.Route{Module: p.prefixed(name), Label: name}
+			if p.plan.Placement[pred.Name] != devName {
+				route.Address = newM.Addr().String()
+			}
+			repoints = append(repoints, repoint{m: p.modules[pred.Name], r: route})
+		}
+	}
+	p.mu.Unlock()
+
+	for _, rp := range repoints {
+		rp.m.UpdateRoute(name, rp.r)
+		rp.m.AbortPush(oldAddr)
 	}
 	p.cluster.Metrics().Meter("pipeline." + p.name + ".recoveries").Mark()
 	return nil

@@ -89,6 +89,17 @@ type svcState struct {
 	healthySince time.Time
 }
 
+// modState is the supervisor's per-module restart bookkeeping (sandbox
+// kills), keyed by "pipeline.module".
+type modState struct {
+	// restarts spent from the budget since the last healthy stretch.
+	restarts int
+	// nextAttempt gates restart attempts (exponential backoff + jitter).
+	nextAttempt time.Time
+	// healthySince tracks sustained health for budget refill.
+	healthySince time.Time
+}
+
 // Supervisor is the per-cluster self-healing control loop (the paper's
 // §7 monitoring component grown teeth): it samples the cluster monitor,
 // pings every device's health endpoint, and turns what it sees into
@@ -109,6 +120,7 @@ type Supervisor struct {
 	missed  map[string]int
 	dead    map[string]bool
 	svc     map[string]*svcState
+	mod     map[string]*modState
 	journal []Action
 	// tuner, when attached, steps inside the supervisor loop (tuner.go).
 	tuner *Tuner
@@ -130,6 +142,7 @@ func NewSupervisor(c *Cluster, cfg SupervisorConfig) *Supervisor {
 		missed:   make(map[string]int),
 		dead:     make(map[string]bool),
 		svc:      make(map[string]*svcState),
+		mod:      make(map[string]*modState),
 	}
 }
 
@@ -192,6 +205,7 @@ func (s *Supervisor) step(ctx context.Context) {
 	rep := s.mon.Sample(ctx)
 	s.probeDevices(ctx)
 	s.checkServices(ctx, rep)
+	s.checkModules(ctx)
 	s.mu.Lock()
 	tuner := s.tuner
 	s.mu.Unlock()

@@ -14,6 +14,51 @@ import (
 // serviceCallTimeout bounds one service invocation from a module.
 const serviceCallTimeout = 30 * time.Second
 
+// chargeOutput meters n bytes of host-emitted payload (call_module /
+// call_service / log) against the module's per-event output budget.
+// Frame pixel payloads are exempt — they travel by reference under the
+// store's own accounting; the budget is for the data a module *generates*.
+func (m *Module) chargeOutput(n int) error {
+	if m.limits.Output <= 0 {
+		return nil
+	}
+	m.outputUsed += int64(n)
+	if m.outputUsed > m.limits.Output {
+		return &script.BudgetError{
+			Resource: script.ResourceOutput,
+			Limit:    m.limits.Output,
+			Used:     m.outputUsed,
+		}
+	}
+	return nil
+}
+
+// payloadSize estimates the emitted size of a ToGo-converted message body:
+// strings by length, scalars by word, containers by per-slot overhead plus
+// contents. It mirrors the script layer's allocation accounting.
+func payloadSize(v any) int {
+	switch x := v.(type) {
+	case string:
+		return len(x) + 16
+	case []any:
+		n := 24
+		for _, e := range x {
+			n += 16 + payloadSize(e)
+		}
+		return n
+	case map[string]any:
+		n := 48
+		for k, e := range x {
+			n += 16 + len(k) + payloadSize(e)
+		}
+		return n
+	case nil:
+		return 0
+	default:
+		return 8
+	}
+}
+
 // bindHostAPI installs the Table-1 module interface plus runtime helpers
 // into the module's script context:
 //
@@ -65,6 +110,10 @@ func (m *Module) hostCallService(args []script.Value) (script.Value, error) {
 			return nil, fmt.Errorf("call_service: message must be an object, got %s", script.TypeName(args[1]))
 		}
 		callArgs = converted
+	}
+
+	if err := m.chargeOutput(payloadSize(callArgs)); err != nil {
+		return nil, err
 	}
 
 	// Resolve a frame reference into the actual frame for the service.
@@ -140,6 +189,10 @@ func (m *Module) hostCallModule(args []script.Value) (script.Value, error) {
 		}
 		frameID = uint64(ref)
 		delete(body, "frame_ref")
+	}
+
+	if err := m.chargeOutput(payloadSize(body)); err != nil {
+		return nil, err
 	}
 
 	if route.Address == "" {
@@ -223,8 +276,14 @@ func (m *Module) deliverRemote(route Route, body map[string]any, frameID uint64)
 // module name.
 func (m *Module) hostLog(args []script.Value) (script.Value, error) {
 	parts := make([]any, 0, len(args))
+	logged := 0
 	for _, a := range args {
-		parts = append(parts, script.Stringify(a))
+		s := script.Stringify(a)
+		logged += len(s)
+		parts = append(parts, s)
+	}
+	if err := m.chargeOutput(logged); err != nil {
+		return nil, err
 	}
 	m.dev.reg.Meter("module." + m.spec.Name + ".logs").Mark()
 	if m.dev.logf != nil {

@@ -3,15 +3,23 @@ package device
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"videopipe/internal/frame"
 	"videopipe/internal/script"
 	"videopipe/internal/wire"
 )
+
+// DefaultMaxBreaches is how many consecutive budget breaches a module
+// survives before the runtime kills it (spec.MaxBreaches overrides). A
+// successful event resets the count, so an occasional expensive event is
+// tolerated while a wedged module converges to a kill in K events.
+const DefaultMaxBreaches = 3
 
 // Route is one outgoing DAG edge from a module: the destination module
 // name and where it lives. An empty Address means the destination is
@@ -50,8 +58,16 @@ type ModuleSpec struct {
 	MetricPrefix string
 	// Restore, when non-nil, is applied to the module's script context
 	// after init() runs and before the first event — the live-migration
-	// path carries the predecessor's global state here.
+	// path carries the predecessor's global state here. It is only applied
+	// when its Version matches the new code's _PRESERVATION_VERSION;
+	// otherwise the state is discarded and the module starts fresh.
 	Restore *script.Snapshot
+	// Limits is the sandbox resource budget enforced on the module's
+	// script context (zero fields are unlimited; the core runtime fills in
+	// cluster defaults before spawning).
+	Limits script.Limits
+	// MaxBreaches overrides DefaultMaxBreaches (0 = default).
+	MaxBreaches int
 }
 
 // event is one unit of work for a module: a message body plus an optional
@@ -89,10 +105,23 @@ type Module struct {
 	// credit instead of leaking it for the rest of the run.
 	onFrameAbandoned func()
 
+	// limits is the sandbox budget from the spec; breachLimit is the
+	// resolved consecutive-breach kill threshold.
+	limits      script.Limits
+	breachLimit int
+	// killed flips when consecutive budget breaches exhaust the breach
+	// allowance; a killed module quarantines (abandons) every event until
+	// the supervisor restarts it. Read from other goroutines via Killed().
+	killed atomic.Bool
+
 	// per-event state, touched only by the event loop goroutine.
 	ownedRefs     []uint64
 	currentFrame  *frame.Frame
 	frameDoneSeen bool
+	// consecBreaches counts back-to-back budget breaches; outputUsed
+	// meters host-emitted bytes for the current event.
+	consecBreaches int
+	outputUsed     int64
 	// encBuf is the frame-encode scratch for outgoing remote edges, reused
 	// across events (event-loop goroutine only).
 	encBuf []byte
@@ -138,8 +167,14 @@ func (d *Device) SpawnModule(spec ModuleSpec) (*Module, error) {
 		}
 		m.routes[label] = r
 	}
+	m.limits = spec.Limits
+	m.breachLimit = spec.MaxBreaches
+	if m.breachLimit <= 0 {
+		m.breachLimit = DefaultMaxBreaches
+	}
 
 	m.ctx = script.NewContext()
+	m.ctx.SetLimits(spec.Limits)
 	m.bindHostAPI()
 	if err := m.ctx.Load(spec.Source); err != nil {
 		return nil, fmt.Errorf("device: %s: loading module %q: %w", d.name, spec.Name, err)
@@ -341,9 +376,16 @@ func (m *Module) eventLoop() {
 		}
 	}
 	if m.spec.Restore != nil {
-		// Migration: overlay the predecessor's global state on top of
-		// whatever init() just set up.
-		m.ctx.Restore(m.spec.Restore)
+		// Migration/restart: overlay the predecessor's global state on top
+		// of whatever init() just set up — but only when the preserved
+		// state's version matches the code now running. A mismatch means
+		// the state shape changed (or a hostile swap poisoned it); starting
+		// fresh is the safe outcome.
+		if m.spec.Restore.Version() == m.ctx.PreservationVersion() {
+			m.ctx.Restore(m.spec.Restore)
+		} else {
+			m.dev.reg.Meter("module." + m.spec.Name + ".restore_discarded").Mark()
+		}
 	}
 	for {
 		select {
@@ -380,6 +422,7 @@ func (m *Module) UpdateSource(source string) error {
 		return fmt.Errorf("device: module %s: empty source", m.spec.Name)
 	}
 	ctx := script.NewContext()
+	ctx.SetLimits(m.limits)
 	m.bindHostAPIInto(ctx)
 	if err := ctx.Load(source); err != nil {
 		return fmt.Errorf("device: updating module %s: %w", m.spec.Name, err)
@@ -394,7 +437,22 @@ func (m *Module) UpdateSource(source string) error {
 	}
 }
 
+// Killed reports whether the sandbox killed this module after exhausting
+// its breach allowance. A killed module abandons every event (credits flow
+// back to the source) until the supervisor replaces it.
+func (m *Module) Killed() bool { return m.killed.Load() }
+
 func (m *Module) handleEvent(ev event) {
+	// A killed module is quarantined: events are abandoned immediately so
+	// their frame credits return to the source while the supervisor
+	// arranges the restart.
+	if m.killed.Load() {
+		if ev.frameID != 0 {
+			m.abandonFrame(ev.frameID)
+		}
+		return
+	}
+
 	// A paused device (chaos reboot) holds the event until Resume; the
 	// single-slot channel upstream means flow control sees the stall and
 	// the source drops frames instead of queueing.
@@ -428,10 +486,11 @@ func (m *Module) handleEvent(ev event) {
 		ev.body["frame_ref"] = float64(ev.frameID)
 	}
 
+	m.outputUsed = 0
 	_, err := m.ctx.Call("event_received", script.FromGo(anyMap(ev.body)))
 	// Per-event interpreter instruction count — the runtime half of the
-	// pipecost validation loop (static bound >= this) and the metering hook
-	// sandbox resource governance will enforce limits on.
+	// pipecost validation loop (static bound >= this) and the counter the
+	// sandbox instruction budget is enforced against.
 	m.dev.reg.Meter("script." + m.spec.Name + ".instructions").MarkN(uint64(m.ctx.LastInstructions()))
 	if err != nil {
 		m.dev.reg.Meter("module." + m.spec.Name + ".errors").Mark()
@@ -441,6 +500,19 @@ func (m *Module) handleEvent(ev event) {
 			m.dev.reg.Meter("module." + m.spec.Name + ".abandoned").Mark()
 			m.onFrameAbandoned()
 		}
+		var be *script.BudgetError
+		if errors.As(err, &be) {
+			m.dev.reg.Meter("script." + m.spec.Name + ".breaches").Mark()
+			m.consecBreaches++
+			if m.consecBreaches >= m.breachLimit && !m.killed.Load() {
+				m.killed.Store(true)
+				m.dev.reg.Meter("script." + m.spec.Name + ".killed").Mark()
+			}
+		} else {
+			m.consecBreaches = 0
+		}
+	} else {
+		m.consecBreaches = 0
 	}
 
 	// Release every frame reference this event owned; anything handed to a

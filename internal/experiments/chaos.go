@@ -30,6 +30,10 @@ type ChaosScenario struct {
 	// Shared also runs the gesture pipeline concurrently, so faults land
 	// on a service pool two pipelines share (§5.2.2 under failure).
 	Shared bool
+	// Limits overrides the fitness pipeline's sandbox budgets, so
+	// module-sabotage scenarios can pick limits low enough that breaches
+	// trip on instruction counts (deterministic) rather than wall clock.
+	Limits *core.LimitsConfig
 }
 
 // schedule resolves the scenario's fault plan for a seed.
@@ -75,16 +79,41 @@ func DefaultChaosScenarios() []ChaosScenario {
 }
 
 // SupervisedChaosScenarios are the supervised resilience stories: the
-// default three plus a permanent TV crash — a fault only the supervisor
-// can recover from, by re-planning the display service and live-migrating
-// the display module onto a surviving device.
+// default three plus faults only the supervisor can recover from — a
+// permanent TV crash (re-plan the display service, live-migrate the
+// display module) and two module-sabotage cases where hostile code is
+// hot-swapped into a live module and the sandbox must breach, kill, and
+// restart it from its original source. The sabotage scenarios run shared
+// so the co-located gesture pipeline's rate during the fault measures
+// containment.
 func SupervisedChaosScenarios() []ChaosScenario {
-	return append(DefaultChaosScenarios(), ChaosScenario{
-		Name: "device_crash",
-		Schedule: chaos.Schedule{
-			{At: 400 * time.Millisecond, Kind: chaos.KindDeviceCrash, Target: "tv", Duration: 600 * time.Millisecond},
+	sandboxLimits := &core.LimitsConfig{Instructions: 50_000}
+	return append(DefaultChaosScenarios(),
+		ChaosScenario{
+			Name: "device_crash",
+			Schedule: chaos.Schedule{
+				{At: 400 * time.Millisecond, Kind: chaos.KindDeviceCrash, Target: "tv", Duration: 600 * time.Millisecond},
+			},
 		},
-	})
+		ChaosScenario{
+			Name:   "runaway_module",
+			Shared: true,
+			Limits: sandboxLimits,
+			Schedule: chaos.Schedule{
+				{At: 400 * time.Millisecond, Kind: chaos.KindRunawayModule,
+					Target: chaos.ModuleTarget("chaos_runaway_module", "rep_counter"), Duration: 600 * time.Millisecond},
+			},
+		},
+		ChaosScenario{
+			Name:   "hog_module",
+			Shared: true,
+			Limits: sandboxLimits,
+			Schedule: chaos.Schedule{
+				{At: 400 * time.Millisecond, Kind: chaos.KindHogModule,
+					Target: chaos.ModuleTarget("chaos_hog_module", "activity_recognition"), Duration: 600 * time.Millisecond},
+			},
+		},
+	)
 }
 
 // ChaosRow is one scenario's outcome.
@@ -101,6 +130,13 @@ type ChaosRow struct {
 	PostFPS float64
 	// DuringFPS is the delivered rate across the fault window.
 	DuringFPS float64
+	// CoPreFPS and CoDuringFPS are the co-located gesture pipeline's
+	// delivered rates in the pre-fault and fault windows (shared runs
+	// only). Module-sabotage scenarios demand CoDuring >= ~0.9 CoPre: a
+	// runaway module must not starve its neighbours while it is being
+	// contained.
+	CoPreFPS    float64
+	CoDuringFPS float64
 	// Recovery is how long after the last fault reversed the pipeline
 	// took to sustain >= 90% of PreFPS; negative means it never did
 	// within the observation window.
@@ -148,7 +184,11 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 		fps = 15
 	}
 	name := "chaos_" + sc.Name
-	fit, err := cluster.Launch(apps.FitnessConfig(name, fps, o.scene()), core.CoLocatePlanner{})
+	fitCfg := apps.FitnessConfig(name, fps, o.scene())
+	if sc.Limits != nil {
+		fitCfg.Limits = *sc.Limits
+	}
+	fit, err := cluster.Launch(fitCfg, core.CoLocatePlanner{})
 	if err != nil {
 		return ChaosRow{}, err
 	}
@@ -190,7 +230,8 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 	// clustering, while RateWindow divides by the fixed window so phases
 	// compare like-for-like.
 	sink := cluster.Metrics().Meter("pipeline." + name + ".display.frames_done")
-	run := func(dur time.Duration) (float64, error) {
+	coSink := cluster.Metrics().Meter("pipeline." + name + "_gest.iot_control.frames_done")
+	run := func(dur time.Duration) (float64, float64, error) {
 		cluster.Metrics().Reset()
 		var wg sync.WaitGroup
 		var fitRes core.RunResult
@@ -209,15 +250,15 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 		}
 		wg.Wait()
 		if fitErr != nil {
-			return 0, fitErr
+			return 0, 0, fitErr
 		}
 		if gestErr != nil {
-			return 0, gestErr
+			return 0, 0, gestErr
 		}
 		if fitRes.Duration <= 0 {
-			return 0, nil
+			return 0, 0, nil
 		}
-		return sink.RateWindow(fitRes.Duration), nil
+		return sink.RateWindow(fitRes.Duration), coSink.RateWindow(fitRes.Duration), nil
 	}
 
 	row := ChaosRow{Scenario: sc.Name}
@@ -232,12 +273,12 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 	if warm < 500*time.Millisecond {
 		warm = 500 * time.Millisecond
 	}
-	if _, err := run(warm); err != nil {
+	if _, _, err := run(warm); err != nil {
 		return ChaosRow{}, err
 	}
 
 	// Phase 1: clean pre-fault window.
-	if row.PreFPS, err = run(o.duration()); err != nil {
+	if row.PreFPS, row.CoPreFPS, err = run(o.duration()); err != nil {
 		return ChaosRow{}, err
 	}
 
@@ -293,7 +334,7 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 		samplesMu.Unlock()
 	}()
 
-	row.DuringFPS, err = run(chaosDur)
+	row.DuringFPS, row.CoDuringFPS, err = run(chaosDur)
 	monCancel()
 	if err != nil {
 		samplerCancel()
@@ -306,7 +347,7 @@ func runChaosScenario(reg *services.Registry, sc ChaosScenario, seed int64, o Op
 	// Phase 3: clean post-fault window. The sampler keeps running so the
 	// recovery clock can land here when the pipeline was still draining
 	// at the end of the fault window.
-	row.PostFPS, err = run(o.duration())
+	row.PostFPS, _, err = run(o.duration())
 	samplerCancel()
 	aux.Wait()
 	if err != nil {
@@ -376,6 +417,9 @@ func FormatChaos(rows []ChaosRow, seed int64) string {
 		}
 		fmt.Fprintf(&b, "%-16s %8.2f %8.2f %8.2f %10s %9.1fs %7d\n",
 			r.Scenario, r.PreFPS, r.DuringFPS, r.PostFPS, rec, r.DegradedSeconds, len(r.Applied))
+		if r.CoPreFPS > 0 {
+			fmt.Fprintf(&b, "  co-located: pre %.2f fps, during fault %.2f\n", r.CoPreFPS, r.CoDuringFPS)
+		}
 		for _, act := range r.Journal {
 			fmt.Fprintf(&b, "  heal: %s\n", act)
 		}

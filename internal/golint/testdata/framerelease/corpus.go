@@ -85,3 +85,26 @@ func transferredByCall(sink func(*frame.Frame)) {
 	f := frame.MustNewPooled(4, 4)
 	sink(f)
 }
+
+// budgetAbortLeak models a handler aborted mid-event by a sandbox budget
+// breach: the error return drops the pooled frame the event had pinned.
+func budgetAbortLeak(handle func() error) error {
+	f := frame.MustNewPooled(4, 4)
+	if err := handle(); err != nil {
+		return err // want pooled frame "f" obtained at .* is not released on this path
+	}
+	f.Release()
+	return nil
+}
+
+// budgetAbortAbandoned is clean: the abandonment path releases the frame
+// (returning its flow-control credit) before surfacing the breach.
+func budgetAbortAbandoned(handle func() error) error {
+	f := frame.MustNewPooled(4, 4)
+	if err := handle(); err != nil {
+		f.Release()
+		return err
+	}
+	f.Release()
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 )
 
 // Default sandbox limits. A module that exceeds them fails its current event
@@ -57,6 +58,9 @@ type Context struct {
 	// the Context itself is single-threaded by contract.
 	instructions     int64
 	lastInstructions int64
+	// limits is the resource budget enforced per invocation; the zero
+	// value is unlimited (see budget.go).
+	limits Limits
 }
 
 // NewContext creates a context with the standard library installed.
@@ -118,6 +122,24 @@ func (c *Context) account(in *interp) {
 	c.instructions += in.steps
 }
 
+// newInterp builds one invocation's execution state from the context's
+// limits. Top-level load and init() run under the init budget
+// (InitInstructions, falling back to Instructions); events run under
+// Instructions.
+func (c *Context) newInterp(initPhase bool) *interp {
+	in := &interp{ctx: c}
+	in.stepLimit = c.limits.Instructions
+	if initPhase && c.limits.InitInstructions > 0 {
+		in.stepLimit = c.limits.InitInstructions
+	}
+	in.memLimit = c.limits.Memory
+	if c.limits.Timeout > 0 {
+		in.timeout = c.limits.Timeout
+		in.start = time.Now()
+	}
+	return in
+}
+
 // Load parses and executes src at the top level: declarations become
 // globals, top-level statements run immediately.
 func (c *Context) Load(src string) error {
@@ -125,7 +147,7 @@ func (c *Context) Load(src string) error {
 	if err != nil {
 		return err
 	}
-	in := &interp{ctx: c}
+	in := c.newInterp(true)
 	defer c.account(in)
 	for _, s := range prog.stmts {
 		if err := in.execStmt(s, c.globals); err != nil {
@@ -142,7 +164,7 @@ func (c *Context) Eval(src string) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	in := &interp{ctx: c}
+	in := c.newInterp(false)
 	defer c.account(in)
 	var last Value
 	for _, s := range prog.stmts {
@@ -169,7 +191,7 @@ func (c *Context) Call(name string, args ...Value) (Value, error) {
 	if !ok {
 		return nil, &RuntimeError{Msg: fmt.Sprintf("function %q is not defined", name)}
 	}
-	in := &interp{ctx: c}
+	in := c.newInterp(name == "init")
 	defer c.account(in)
 	v, err := in.callValue(b.value, args, Position{})
 	if err != nil {
@@ -178,12 +200,24 @@ func (c *Context) Call(name string, args ...Value) (Value, error) {
 	return v, nil
 }
 
-// interp carries per-invocation execution state: the step budget and call
-// depth.
+// interp carries per-invocation execution state: the step budget, call
+// depth, and the resource meters the sandbox limits are enforced against.
 type interp struct {
 	ctx   *Context
 	steps int64
 	depth int
+	// stepLimit is the configured instruction budget for this invocation
+	// (0 = only the hard DefaultMaxSteps ceiling applies).
+	stepLimit int64
+	// memLimit/memUsed meter script-value allocation (0 limit = off).
+	memLimit int64
+	memUsed  int64
+	// timeout/start/hostDur implement the wall-clock backstop; hostDur
+	// accumulates time spent inside host calls, which is excluded so a
+	// slow service cannot breach its caller.
+	timeout time.Duration
+	start   time.Time
+	hostDur time.Duration
 }
 
 // publicError converts internal control-flow signals into user-facing
@@ -202,8 +236,36 @@ func (in *interp) publicError(err error) error {
 
 func (in *interp) step(pos Position) error {
 	in.steps++
+	if in.stepLimit > 0 && in.steps > in.stepLimit {
+		return &BudgetError{Resource: ResourceInstructions, Limit: in.stepLimit, Used: in.steps, Pos: pos}
+	}
 	if in.steps > in.ctx.maxSteps {
 		return &RuntimeError{Pos: pos, Msg: "step budget exhausted (possible infinite loop)"}
+	}
+	// The wall-clock backstop is checked every 1024 steps: cheap enough to
+	// leave on, frequent enough that a spin costs at most a few µs past
+	// the deadline.
+	if in.timeout > 0 && in.steps&1023 == 0 {
+		if used := time.Since(in.start) - in.hostDur; used > in.timeout {
+			return &BudgetError{
+				Resource: ResourceTimeout,
+				Limit:    in.timeout.Milliseconds(),
+				Used:     used.Milliseconds(),
+				Pos:      pos,
+			}
+		}
+	}
+	return nil
+}
+
+// charge meters n bytes of value allocation against the memory budget.
+func (in *interp) charge(n int64, pos Position) error {
+	if in.memLimit <= 0 {
+		return nil
+	}
+	in.memUsed += n
+	if in.memUsed > in.memLimit {
+		return &BudgetError{Resource: ResourceMemory, Limit: in.memLimit, Used: in.memUsed, Pos: pos}
 	}
 	return nil
 }
@@ -444,6 +506,9 @@ func (in *interp) execStmt(s stmt, env *environment) error {
 		}
 		return nil
 	case *funcDecl:
+		if err := in.charge(64, st.position()); err != nil {
+			return err
+		}
 		fn := &Function{name: st.fn.name, params: st.fn.params, body: st.fn.body, env: env}
 		env.define(st.fn.name, fn, false)
 		return nil
@@ -474,6 +539,9 @@ func (in *interp) evalExpr(e expr, env *environment) (Value, error) {
 		}
 		return b.value, nil
 	case *arrayLit:
+		if err := in.charge(24+16*int64(len(ex.elems)), ex.pos); err != nil {
+			return nil, err
+		}
 		arr := &Array{Elems: make([]Value, len(ex.elems))}
 		for i, el := range ex.elems {
 			v, err := in.evalExpr(el, env)
@@ -484,6 +552,9 @@ func (in *interp) evalExpr(e expr, env *environment) (Value, error) {
 		}
 		return arr, nil
 	case *objectLit:
+		if err := in.charge(48+32*int64(len(ex.fields)), ex.pos); err != nil {
+			return nil, err
+		}
 		obj := NewObject()
 		for _, f := range ex.fields {
 			v, err := in.evalExpr(f.value, env)
@@ -494,6 +565,9 @@ func (in *interp) evalExpr(e expr, env *environment) (Value, error) {
 		}
 		return obj, nil
 	case *funcLit:
+		if err := in.charge(64, ex.pos); err != nil {
+			return nil, err
+		}
 		return &Function{name: ex.name, params: ex.params, body: ex.body, env: env}, nil
 	case *unaryExpr:
 		return in.evalUnary(ex, env)
@@ -602,10 +676,18 @@ func (in *interp) applyBinary(op string, x, y Value, pos Position) (Value, error
 	// String concatenation mirrors JS: + with a string operand concatenates.
 	if op == "+" {
 		if xs, ok := x.(string); ok {
-			return xs + Stringify(y), nil
+			s := xs + Stringify(y)
+			if err := in.charge(int64(len(s)), pos); err != nil {
+				return nil, err
+			}
+			return s, nil
 		}
 		if ys, ok := y.(string); ok {
-			return Stringify(x) + ys, nil
+			s := Stringify(x) + ys
+			if err := in.charge(int64(len(s)), pos); err != nil {
+				return nil, err
+			}
+			return s, nil
 		}
 	}
 
@@ -749,6 +831,11 @@ func (in *interp) writeTarget(target expr, v Value, env *environment) error {
 			if i >= maxArrayLen {
 				return in.errorf(t.pos, "array index %d exceeds limit", i)
 			}
+			if grow := i + 1 - len(o.Elems); grow > 0 {
+				if err := in.charge(16*int64(grow), t.pos); err != nil {
+					return err
+				}
+			}
 			for len(o.Elems) <= i {
 				o.Elems = append(o.Elems, nil)
 			}
@@ -829,15 +916,33 @@ func (in *interp) index(obj, idx Value, pos Position) (Value, error) {
 func (in *interp) callValue(callee Value, args []Value, pos Position) (Value, error) {
 	switch fn := callee.(type) {
 	case HostFunc:
+		var hostStart time.Time
+		if in.timeout > 0 {
+			hostStart = time.Now()
+		}
 		v, err := fn(args)
+		if in.timeout > 0 {
+			in.hostDur += time.Since(hostStart)
+		}
 		if err != nil {
 			// Host errors surface as catchable script throws carrying the
 			// error text, so modules can recover from failed service calls.
+			// Runtime and budget errors stay typed and uncatchable — a
+			// handler must not swallow its own abort.
 			var rt *RuntimeError
 			if errors.As(err, &rt) {
 				return nil, err
 			}
+			var be *BudgetError
+			if errors.As(err, &be) {
+				return nil, err
+			}
 			return nil, throwSignal{value: err.Error(), pos: pos}
+		}
+		// Host and builtin results are charged shallowly here — the one
+		// choke point every host-constructed value passes through.
+		if err := in.charge(sizeEstimate(v), pos); err != nil {
+			return nil, err
 		}
 		return v, nil
 	case *Function:
@@ -845,6 +950,9 @@ func (in *interp) callValue(callee Value, args []Value, pos Position) (Value, er
 		defer func() { in.depth-- }()
 		if in.depth > in.ctx.maxDepth {
 			return nil, in.errorf(pos, "call stack depth limit exceeded")
+		}
+		if err := in.charge(24+16*int64(len(args)), pos); err != nil {
+			return nil, err
 		}
 		env := newEnvironment(fn.env)
 		for i, p := range fn.params {

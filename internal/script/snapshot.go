@@ -21,6 +21,12 @@ import (
 // exactly.
 type Snapshot struct {
 	vars []savedVar
+	// version is the source context's _PRESERVATION_VERSION at capture
+	// time. The module runtime refuses to restore a snapshot into a
+	// context that declares a different version — a code change that bumps
+	// the version discards old state instead of resurrecting a poisoned or
+	// shape-incompatible global.
+	version int64
 }
 
 // savedVar is one captured global in ToGo form (nil, bool, float64,
@@ -38,7 +44,7 @@ type savedVar struct {
 //
 //vpvet:deterministic
 func (c *Context) Snapshot() *Snapshot {
-	s := &Snapshot{}
+	s := &Snapshot{version: c.PreservationVersion()}
 	//vpvet:allow determinism iteration order is erased by the sort below
 	for name, b := range c.globals.vars {
 		if b.constant {
@@ -77,6 +83,15 @@ func (c *Context) Restore(s *Snapshot) {
 			c.globals.define(v.name, FromGo(v.data), false)
 		}
 	}
+}
+
+// Version returns the _PRESERVATION_VERSION the source context declared
+// when the snapshot was taken (0 when undeclared, or for a nil snapshot).
+func (s *Snapshot) Version() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.version
 }
 
 // Len reports how many globals the snapshot captured.
