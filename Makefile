@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet meters lint check test race cover alloc bench chaos heal sandbox fuzz experiments flood floodtune floodgate examples clean
+.PHONY: all build vet meters lint check test race cover alloc bench chaos heal sandbox shapes fuzz experiments flood floodtune floodgate examples clean
 
 all: build vet test
 
@@ -40,7 +40,7 @@ lint: vet
 # `race` reruns the allocation-regression tests under the race detector
 # (bounds logged, pool/scratch plumbing race-checked); `alloc` enforces
 # the exact allocs/op bounds, which only hold without instrumentation.
-check: build lint alloc race
+check: build lint alloc race shapes
 
 test:
 	$(GO) test ./...
@@ -79,11 +79,20 @@ sandbox:
 	$(GO) test -race -run 'TestBudget|TestPreservationVersion|TestSnapshotCarriesVersion|TestModuleBreach|TestModuleOutput|TestModuleRestore|TestParseConfigLimits|TestEffectiveLimits|TestValidateRejectsBadLimits|TestPV014|TestBuiltinAppsWithin|TestPipelineRestartModule' ./internal/script ./internal/device ./internal/core
 	VP_CHAOS_SEED=$(VP_CHAOS_SEED) $(GO) test -race -v -run 'TestChaosResilience/(runaway_module|hog_module)' .
 
+# Pipetype gate: the shape-inference golden corpora (unit, script-level
+# and config-level) plus the edge-contract checks and the runtime
+# soundness test (inferred ⊇ observed over every shipped module), all
+# under the race detector.
+shapes:
+	$(GO) test -race -run 'TestShape' ./internal/script ./internal/core .
+
 # Short coverage-guided fuzz pass over the PipeScript and config parsers
-# plus the sandbox budget enforcer (seed corpora alone run in `make test`).
+# plus the sandbox budget enforcer and the shape-inference pass (seed
+# corpora alone run in `make test`).
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/script
 	$(GO) test -fuzz FuzzBudget -fuzztime 30s ./internal/script
+	$(GO) test -fuzz FuzzShapes -fuzztime 30s ./internal/script
 	$(GO) test -fuzz FuzzParseConfig -fuzztime 30s ./internal/core
 
 # One measurement window per benchmark; see EXPERIMENTS.md for canonical

@@ -55,6 +55,7 @@ func main() {
 		example    = flag.Bool("example", false, "print an example config and exit")
 		lint       = flag.Bool("lint", false, "statically analyze the config and exit (no deployment)")
 		jsonOut    = flag.Bool("json", false, "with -lint, emit diagnostics as a JSON array on stdout")
+		werror     = flag.Bool("Werror", false, "with -lint, treat warnings as errors (nonzero exit on any finding)")
 	)
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 		return
 	}
 	if *lint {
-		os.Exit(runLint(*configPath, *jsonOut, os.Stdout, os.Stderr))
+		os.Exit(runLint(*configPath, *jsonOut, *werror, os.Stdout, os.Stderr))
 	}
 	if err := run(*configPath, *plannerArg, *duration, *fps, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "videopipe:", err)
@@ -174,9 +175,11 @@ type lintJSONDiag struct {
 // diagnostic without deploying anything. The return value is the process
 // exit status: 0 when the pipeline is deployable (warnings allowed),
 // 1 when the config fails to parse/validate or any diagnostic is an error.
-// With jsonOut, the diagnostics go to stdout as an indented JSON array
-// (structural errors still print to stderr).
-func runLint(configPath string, jsonOut bool, stdout, stderr io.Writer) int {
+// With werror, warnings also fail the lint (exit 1 on any finding); the
+// diagnostics themselves keep their severities. With jsonOut, the
+// diagnostics go to stdout as an indented JSON array (structural errors
+// still print to stderr).
+func runLint(configPath string, jsonOut, werror bool, stdout, stderr io.Writer) int {
 	diags, err := lintConfig(configPath)
 	errors := 0
 	for _, d := range diags {
@@ -213,6 +216,10 @@ func runLint(configPath string, jsonOut bool, stdout, stderr io.Writer) int {
 	}
 	if errors > 0 {
 		fmt.Fprintf(stderr, "%s: %d error(s), %d warning(s)\n", configPath, errors, len(diags)-errors)
+		return 1
+	}
+	if werror && len(diags) > 0 {
+		fmt.Fprintf(stderr, "%s: %d warning(s) promoted to errors by -Werror\n", configPath, len(diags))
 		return 1
 	}
 	if !jsonOut {

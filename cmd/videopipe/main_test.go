@@ -28,6 +28,7 @@ source : { device: phone, module: streamer, fps: 15,
 function event_received(message) {
 	var r = call_service("pose_detector", {frame_ref: message.frame_ref});
 	if (r.found) { metric("found", 1); }
+	metric("lag_ms", now_ms() - message.captured_ms);
 	frame_done();
 }
 `
@@ -95,7 +96,7 @@ source : { device: phone, module: watch, fps: 15, width: 480, height: 360 }
 func TestLintCleanConfig(t *testing.T) {
 	path := writeTestConfig(t)
 	var out, errOut strings.Builder
-	if code := runLint(path, false, &out, &errOut); code != 0 {
+	if code := runLint(path, false, false, &out, &errOut); code != 0 {
 		t.Fatalf("lint exit = %d, stderr:\n%s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "ok") {
@@ -106,7 +107,7 @@ func TestLintCleanConfig(t *testing.T) {
 func TestLintBrokenConfig(t *testing.T) {
 	path := writeBrokenConfig(t)
 	var out, errOut strings.Builder
-	if code := runLint(path, false, &out, &errOut); code != 1 {
+	if code := runLint(path, false, false, &out, &errOut); code != 1 {
 		t.Fatalf("lint exit = %d, want 1", code)
 	}
 	msg := errOut.String()
@@ -121,10 +122,10 @@ func TestLintBrokenConfig(t *testing.T) {
 
 func TestLintErrors(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := runLint("", false, &out, &errOut); code != 1 {
+	if code := runLint("", false, false, &out, &errOut); code != 1 {
 		t.Error("missing -config accepted")
 	}
-	if code := runLint("/nonexistent/path.cfg", false, &out, &errOut); code != 1 {
+	if code := runLint("/nonexistent/path.cfg", false, false, &out, &errOut); code != 1 {
 		t.Error("unreadable config accepted")
 	}
 	// Unparseable config text.
@@ -132,7 +133,7 @@ func TestLintErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("modules : ["), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if code := runLint(bad, false, &out, &errOut); code != 1 {
+	if code := runLint(bad, false, false, &out, &errOut); code != 1 {
 		t.Error("unparseable config accepted")
 	}
 }
@@ -160,7 +161,7 @@ source : { device: phone, module: watch, fps: 15, width: 480, height: 360 }
 func TestLintJSON(t *testing.T) {
 	path := writeUnboundedConfig(t)
 	var out, errOut strings.Builder
-	if code := runLint(path, true, &out, &errOut); code != 0 {
+	if code := runLint(path, true, false, &out, &errOut); code != 0 {
 		t.Fatalf("lint exit = %d (warnings must not fail), stderr:\n%s", code, errOut.String())
 	}
 	var diags []map[string]any
@@ -190,7 +191,7 @@ func TestLintJSON(t *testing.T) {
 	clean := writeTestConfig(t)
 	out.Reset()
 	errOut.Reset()
-	if code := runLint(clean, true, &out, &errOut); code != 0 {
+	if code := runLint(clean, true, false, &out, &errOut); code != 0 {
 		t.Fatalf("clean lint exit = %d", code)
 	}
 	var empty []map[string]any
@@ -205,7 +206,7 @@ func TestLintJSON(t *testing.T) {
 	broken := writeBrokenConfig(t)
 	out.Reset()
 	errOut.Reset()
-	if code := runLint(broken, true, &out, &errOut); code != 1 {
+	if code := runLint(broken, true, false, &out, &errOut); code != 1 {
 		t.Fatalf("broken lint exit = %d, want 1", code)
 	}
 	var brokenDiags []map[string]any
@@ -214,5 +215,79 @@ func TestLintJSON(t *testing.T) {
 	}
 	if len(brokenDiags) == 0 {
 		t.Error("broken config produced no JSON findings")
+	}
+}
+
+// writeShapeErrorConfig produces a config whose producer misspells a field
+// the consumer reads — a pipetype PV015 error on the edge.
+func writeShapeErrorConfig(t *testing.T) string {
+	t.Helper()
+	cfg := `
+modules : [
+	{ name: streamer
+	  source: "function event_received(m) { call_module('sink', {valu: m.seq, frame_ref: m.frame_ref}); }"
+	  next_module: sink }
+	{ name: sink
+	  source: "function event_received(m) { metric('v', m.value); frame_done(); }" }
+]
+source : { device: phone, module: streamer, fps: 15, width: 480, height: 360 }
+`
+	path := filepath.Join(t.TempDir(), "shapeerr.cfg")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLintWerror: warnings pass by default but fail under -Werror, and the
+// JSON stream carries the pipetype codes.
+func TestLintWerror(t *testing.T) {
+	warny := writeUnboundedConfig(t)
+	var out, errOut strings.Builder
+	if code := runLint(warny, false, true, &out, &errOut); code != 1 {
+		t.Fatalf("lint -Werror exit = %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-Werror") {
+		t.Errorf("stderr does not mention -Werror:\n%s", errOut.String())
+	}
+
+	// A clean config still exits 0 under -Werror.
+	clean := writeTestConfig(t)
+	out.Reset()
+	errOut.Reset()
+	if code := runLint(clean, false, true, &out, &errOut); code != 0 {
+		t.Fatalf("clean lint -Werror exit = %d, stderr:\n%s", code, errOut.String())
+	}
+}
+
+// TestLintJSONShapeCodes: the pipetype edge-contract findings surface in
+// the machine-readable output with their code and position.
+func TestLintJSONShapeCodes(t *testing.T) {
+	path := writeShapeErrorConfig(t)
+	var out, errOut strings.Builder
+	if code := runLint(path, true, false, &out, &errOut); code != 1 {
+		t.Fatalf("lint exit = %d, want 1", code)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	found := false
+	for _, d := range diags {
+		if d["code"] == "PV015" {
+			found = true
+			if d["severity"] != "error" {
+				t.Errorf("PV015 severity = %v, want error", d["severity"])
+			}
+			if d["module"] != "sink" {
+				t.Errorf("PV015 module = %v, want sink", d["module"])
+			}
+			if line, _ := d["line"].(float64); line == 0 {
+				t.Errorf("PV015 lost its position: %v", d)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("JSON output lacks the PV015 finding:\n%s", out.String())
 	}
 }

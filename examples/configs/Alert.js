@@ -2,6 +2,9 @@
 // and returns the flow-control credit.
 var alerts = 0;
 function event_received(message) {
+	if (message.fallen) {
+		metric("falls_seen", 1);
+	}
 	if (message.alert) {
 		alerts++;
 		metric("fall_alerts", 1);

@@ -2,7 +2,6 @@
 function event_received(message) {
 	call_module("pose", {
 		frame_ref: message.frame_ref,
-		captured_ms: message.captured_ms,
-		seq: message.seq
+		captured_ms: message.captured_ms
 	});
 }

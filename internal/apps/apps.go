@@ -86,6 +86,9 @@ const (
 		var state = "";
 		var reps = 0;
 		function event_received(message) {
+			if (message.confidence < 0.5) {
+				metric("low_confidence", 1);
+			}
 			var t0 = now_ms();
 			var r = call_service("rep_counter", {state: state, pose: message.pose});
 			metric("rep_count", now_ms() - t0);
@@ -110,9 +113,14 @@ const (
 	// completion — the §2.3 flow-control credit.
 	DisplaySrc = `
 		var frames = 0;
+		var last_seq = -1;
 		function event_received(message) {
+			if (last_seq >= 0 && message.seq - last_seq > 1) {
+				metric("display_gaps", message.seq - last_seq - 1);
+			}
+			last_seq = message.seq;
 			var t0 = now_ms();
-			var r = call_service("display", {
+			call_service("display", {
 				frame_ref: message.frame_ref,
 				pose: message.pose,
 				activity: message.activity,
@@ -200,6 +208,9 @@ const (
 	AlertSrc = `
 		var alerts = 0;
 		function event_received(message) {
+			if (message.fallen) {
+				metric("falls_seen", 1);
+			}
 			if (message.alert) {
 				alerts++;
 				metric("fall_alerts", 1);
@@ -310,7 +321,12 @@ func GestureConfig(name string, fps float64, scene string) core.PipelineConfig {
 
 // gesturePoseSrc is PoseDetectionSrc retargeted at the gesture chain.
 const gesturePoseSrc = `
+	var last_seq = -1;
 	function event_received(message) {
+		if (last_seq >= 0 && message.seq - last_seq > 1) {
+			metric("dropped_frames", message.seq - last_seq - 1);
+		}
+		last_seq = message.seq;
 		metric("load_frame", now_ms() - message.captured_ms);
 		var t0 = now_ms();
 		var r = call_service("pose_detector", {frame_ref: message.frame_ref});
@@ -329,7 +345,12 @@ const gesturePoseSrc = `
 
 // fallPoseSrc is PoseDetectionSrc retargeted at the fall chain.
 const fallPoseSrc = `
+	var last_seq = -1;
 	function event_received(message) {
+		if (last_seq >= 0 && message.seq - last_seq > 1) {
+			metric("dropped_frames", message.seq - last_seq - 1);
+		}
+		last_seq = message.seq;
 		metric("load_frame", now_ms() - message.captured_ms);
 		var t0 = now_ms();
 		var r = call_service("pose_detector", {frame_ref: message.frame_ref});

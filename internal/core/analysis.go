@@ -81,6 +81,7 @@ func (e *AnalysisError) Error() string {
 func AnalyzePipeline(cfg *PipelineConfig) []Diagnostic {
 	reachable := reachableModules(cfg)
 	var out []Diagnostic
+	shapes := make(map[string]script.ShapeReport, len(cfg.Modules))
 	for i := range cfg.Modules {
 		m := &cfg.Modules[i]
 		rep := script.Analyze(m.Source, script.Options{
@@ -94,7 +95,11 @@ func AnalyzePipeline(cfg *PipelineConfig) []Diagnostic {
 		}
 		out = append(out, crossCheckModule(cfg, m, rep)...)
 		out = append(out, limitsCheckModule(cfg, m)...)
+		shapes[m.Name] = rep.Shapes
 	}
+	// pipetype: whole-DAG edge-contract checks over the per-module shape
+	// reports (shapecheck.go).
+	out = append(out, shapeCheckPipeline(cfg, shapes)...)
 	return out
 }
 

@@ -12,6 +12,7 @@ import (
 	"videopipe/internal/device"
 	"videopipe/internal/frame"
 	"videopipe/internal/metrics"
+	"videopipe/internal/script"
 	"videopipe/internal/vision"
 )
 
@@ -460,7 +461,40 @@ func (p *Pipeline) UpdateModule(name, source string) error {
 	if !ok {
 		return fmt.Errorf("core: pipeline %q has no module %q", p.name, name)
 	}
+	// pipetype: a swap must not break an edge contract the rest of the DAG
+	// still relies on (shapecheck.go). Only error-severity findings block.
+	if err := checkShapeUpdate(p.cfg, name, source); err != nil {
+		return err
+	}
 	return m.UpdateSource(source)
+}
+
+// RecordShapes installs a debug-mode runtime shape recorder on every
+// module of the pipeline: each call_module payload is joined into the
+// recorder under its "producer->target" edge, so observed traffic can be
+// compared against the static pipetype inference (inferred must contain
+// observed). Call StopRecordingShapes to detach the observers.
+func (p *Pipeline) RecordShapes() *script.ShapeRecorder {
+	rec := script.NewShapeRecorder()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for name, m := range p.modules {
+		producer := name
+		m.SetShapeObserver(func(target string, payload script.Value) {
+			rec.Observe(producer+"->"+target, payload)
+		})
+	}
+	return rec
+}
+
+// StopRecordingShapes detaches any shape observers installed by
+// RecordShapes.
+func (p *Pipeline) StopRecordingShapes() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.modules {
+		m.SetShapeObserver(nil)
+	}
 }
 
 // MigrateModule moves a running module to another device — the live-

@@ -172,6 +172,14 @@ func (m *Module) hostCallModule(args []script.Value) (script.Value, error) {
 		return nil, fmt.Errorf("call_module: module %q has no edge to %q", m.spec.Name, target)
 	}
 
+	if obs := m.shapeObserver(); obs != nil {
+		var payload script.Value
+		if len(args) >= 2 {
+			payload = args[1]
+		}
+		obs(target, payload)
+	}
+
 	body := map[string]any{}
 	if len(args) >= 2 && args[1] != nil {
 		converted, ok := script.ToGo(args[1]).(map[string]any)

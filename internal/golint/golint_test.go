@@ -19,6 +19,7 @@ var corpusRegistry = []string{
 	"chaos.errors",
 	"module.*.events",
 	"pipeline.*.frames_done",
+	"pool.*.size",
 }
 
 // goldenCases maps each corpus directory to the analyzer under test.

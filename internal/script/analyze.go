@@ -55,6 +55,7 @@ const (
 	CodeFrameHeld       = "PV011" // frame held across call_service, neither forwarded nor dropped
 	CodeUnboundedLoop   = "PV012" // loop with no statically inferable iteration bound
 	CodeUnboundableCost = "PV013" // handler cost unboundable (recursion or dynamic call)
+	CodeShapeUnknown    = "PV018" // emitted payload shape unknowable (dynamic construction)
 )
 
 // Diagnostic is one positioned finding.
@@ -114,6 +115,10 @@ type Report struct {
 	// Cost is the pipecost result: per-handler worst-case instruction and
 	// allocation bounds (cost.go). Empty when the source does not parse.
 	Cost CostReport
+	// Shapes is the pipetype result: produced payload shapes per
+	// call_module target and the consumed shape of event_received
+	// (shapes.go). Empty when the source does not parse.
+	Shapes ShapeReport
 }
 
 // HasErrors reports whether any diagnostic is error severity.
@@ -163,6 +168,11 @@ func Analyze(src string, opts Options) Report {
 	cost, costDiags := costPass(prog, a.sigs, opts.Globals)
 	a.diags = append(a.diags, costDiags...)
 
+	// pipetype: produced/consumed event shapes per module, with PV018 for
+	// payloads that degrade to top (shapes.go).
+	shapes, shapeDiags := shapePass(prog, a.sigs, opts.Globals)
+	a.diags = append(a.diags, shapeDiags...)
+
 	sort.SliceStable(a.diags, func(i, j int) bool {
 		pi, pj := a.diags[i].Pos, a.diags[j].Pos
 		if pi.Line != pj.Line {
@@ -170,7 +180,7 @@ func Analyze(src string, opts Options) Report {
 		}
 		return pi.Col < pj.Col
 	})
-	return Report{Diagnostics: a.diags, Facts: a.facts, Cost: cost}
+	return Report{Diagnostics: a.diags, Facts: a.facts, Cost: cost, Shapes: shapes}
 }
 
 // ---- scope model ----

@@ -120,3 +120,63 @@ func FuzzCost(f *testing.F) {
 		}
 	})
 }
+
+// FuzzShapes drives the pipetype shape pass with arbitrary handler bodies,
+// asserting two properties: the pass never panics (parseable input or
+// not), and emission collection is monotone — appending one more
+// call_module site never loses an already-inferred target, and the join of
+// two shapes contains both operands.
+func FuzzShapes(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "configs", "*.js"))
+	if err != nil {
+		f.Fatalf("glob examples: %v", err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatalf("read %s: %v", p, err)
+		}
+		f.Add(string(src))
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		// No panics on raw input.
+		_ = AnalyzeShapes(body)
+
+		// The probe emission is prepended, not appended: bodies can
+		// truncate everything after themselves (a NUL byte reads as EOF),
+		// but a leading statement always survives if the program parses.
+		base := "function event_received(message) {\n" + body + "\n}"
+		grown := "call_module(\"__fz_t\", {__fz_f: 1});\n" + base
+		repBase := AnalyzeShapes(base)
+		if !repBase.Consumed.HasHandler {
+			// The wrapper did not survive the body (unbalanced braces and
+			// the like): the grown variant parses differently, skip.
+			return
+		}
+		repGrown := AnalyzeShapes(grown)
+		if !repGrown.Consumed.HasHandler {
+			return
+		}
+		for target, shape := range repBase.Emits {
+			grownShape, ok := repGrown.Emits[target]
+			if !ok {
+				t.Errorf("target %q lost when growing the body:\n%s", target, body)
+				continue
+			}
+			// Join-monotonicity: the lattice join of the two inferences
+			// contains each operand.
+			joined := shape.Join(grownShape)
+			if !joined.Contains(shape) || !joined.Contains(grownShape) {
+				t.Errorf("join %s does not contain operands %s / %s:\n%s",
+					joined, shape, grownShape, body)
+			}
+		}
+		if _, ok := repGrown.Emits["__fz_t"]; !ok {
+			t.Errorf("prepended emission not inferred:\n%s", body)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package script
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShapeGoldenScripts drives the script-level half of the
+// testdata/shapes corpus: standalone .js files whose first line declares
+// the PV018 findings they must (and must only) trigger, positioned —
+// `// expect: PV018@5` or `// expect: none`. Files without the header are
+// include()-targets of the .cfg half (driven from the root package) and
+// are skipped here.
+func TestShapeGoldenScripts(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "shapes", "*.js"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(data)
+		first, _, _ := strings.Cut(src, "\n")
+		spec, ok := strings.CutPrefix(strings.TrimSpace(first), "// expect:")
+		if !ok {
+			continue
+		}
+		ran++
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			want := map[string]bool{}
+			for _, entry := range strings.Fields(spec) {
+				if entry != "none" {
+					want[entry] = true
+				}
+			}
+			got := map[string]bool{}
+			rep := Analyze(src, Options{})
+			for _, d := range rep.Diagnostics {
+				if d.Code == CodeShapeUnknown {
+					got[fmt.Sprintf("%s@%d", d.Code, d.Pos.Line)] = true
+					if d.Severity != SeverityWarning {
+						t.Errorf("%s must be a warning, got %v", d.Code, d.Severity)
+					}
+				}
+			}
+			for entry := range want {
+				if !got[entry] {
+					t.Errorf("expected %s, not reported; diagnostics: %v", entry, rep.Diagnostics)
+				}
+			}
+			for entry := range got {
+				if !want[entry] {
+					t.Errorf("unexpected %s; diagnostics: %v", entry, rep.Diagnostics)
+				}
+			}
+		})
+	}
+	if ran < 2 {
+		t.Fatalf("script-level shape corpus too small: %d files", ran)
+	}
+}

@@ -1,0 +1,6 @@
+// Reads "pose", which the producer misspells as "pse".
+function event_received(m) {
+	var p = m.pose;
+	log(p);
+	frame_done();
+}

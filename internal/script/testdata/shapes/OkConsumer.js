@@ -1,0 +1,6 @@
+// Consumes every field the producer's helper builds.
+function event_received(m) {
+	log(m.label);
+	metric("seq", m.seq);
+	frame_done();
+}

@@ -1,0 +1,7 @@
+// Builds the payload in a helper, exercising interprocedural inference.
+function payload(m, label) {
+	return {frame_ref: m.frame_ref, label: label, seq: m.seq};
+}
+function event_received(m) {
+	call_module("sink", payload(m, "ok"));
+}

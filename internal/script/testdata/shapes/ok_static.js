@@ -1,0 +1,5 @@
+// expect: none
+function event_received(m) {
+	call_module("sink", {frame_ref: m.frame_ref, tag: "x"});
+	frame_done();
+}

@@ -1,0 +1,6 @@
+// expect: PV018@5
+function event_received(m) {
+	var p = {frame_ref: m.frame_ref};
+	p[m.key] = 1;
+	call_module("sink", p);
+}

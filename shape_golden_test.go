@@ -1,0 +1,82 @@
+package videopipe_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"videopipe"
+)
+
+// TestShapeGoldenConfigs drives the pipeline-level half of the shape
+// corpus: each internal/script/testdata/shapes/*.cfg declares on its first
+// line exactly which pipetype edge-contract findings the analyzer must
+// report, positioned per module — `# expect: sink:PV015@3 streamer:PV017@1`
+// or `# expect: none`. Lines count within each module's source (so within
+// the include()d file for included modules).
+func TestShapeGoldenConfigs(t *testing.T) {
+	dir := filepath.Join("internal", "script", "testdata", "shapes")
+	files, err := filepath.Glob(filepath.Join(dir, "*.cfg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 7 {
+		t.Fatalf("config shape corpus too small: %d files", len(files))
+	}
+	shapeCodes := map[string]bool{"PV015": true, "PV016": true, "PV017": true, "PV018": true}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := string(data)
+			first, _, _ := strings.Cut(text, "\n")
+			spec, ok := strings.CutPrefix(strings.TrimSpace(first), "# expect:")
+			if !ok {
+				t.Fatalf("first line must be a `# expect:` header, got %q", first)
+			}
+			want := map[string]bool{}
+			for _, entry := range strings.Fields(spec) {
+				if entry != "none" {
+					want[entry] = true
+				}
+			}
+
+			name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+			cfg, err := videopipe.ParseConfig(name, text, videopipe.FileResolver(dir))
+			if err != nil {
+				t.Fatalf("ParseConfig: %v", err)
+			}
+			got := map[string]bool{}
+			for _, d := range videopipe.AnalyzePipeline(cfg) {
+				if shapeCodes[d.Code] {
+					got[fmt.Sprintf("%s:%s@%d", d.Module, d.Code, d.Pos.Line)] = true
+					if d.Pos.Line == 0 {
+						t.Errorf("%s finding lost its position: %+v", d.Code, d)
+					}
+				}
+			}
+			for entry := range want {
+				if !got[entry] {
+					t.Errorf("expected %s, not reported; got %v", entry, keys(got))
+				}
+			}
+			for entry := range got {
+				if !want[entry] {
+					t.Errorf("unexpected %s; want %v", entry, keys(want))
+				}
+			}
+		})
+	}
+}
+
+func keys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}

@@ -105,6 +105,15 @@ type (
 	CostReport = script.CostReport
 	// HandlerCost is one entry of a CostReport.
 	HandlerCost = script.HandlerCost
+	// Shape is one point of the pipetype event-shape lattice.
+	Shape = script.Shape
+	// ShapeReport is the pipetype result for one module: produced payload
+	// shapes per call_module target and the consumed shape of
+	// event_received.
+	ShapeReport = script.ShapeReport
+	// ShapeRecorder accumulates observed payload shapes per DAG edge
+	// (debug-mode runtime validation of the static inference).
+	ShapeRecorder = script.ShapeRecorder
 
 	// ServiceRegistry catalogues deployable services.
 	ServiceRegistry = services.Registry
@@ -239,3 +248,10 @@ func AnalyzeScript(src string) []Diagnostic { return core.AnalyzeModuleSource(sr
 // per-event instruction counter (the `script.<module>.instructions`
 // meter).
 func AnalyzeCost(src string) CostReport { return script.AnalyzeCost(src) }
+
+// AnalyzeShapes runs only the pipetype event-shape inference over a single
+// PipeScript module source: the payload shape emitted to each call_module
+// target and the fields (with expected kinds) its event_received handler
+// reads. Pipeline Build/Launch cross-check these along every DAG edge
+// (PV015–PV017); this entry point exposes one module's report for tooling.
+func AnalyzeShapes(src string) ShapeReport { return script.AnalyzeShapes(src) }
